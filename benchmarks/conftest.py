@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by running the
+corresponding experiment driver at its ``smoke`` scale (seconds per
+experiment rather than the hours of the paper-scale parameters) exactly once
+under ``pytest-benchmark``, printing the same rows/series the paper reports,
+and asserting the qualitative *shape* of the result (who wins, what
+dominates, where the hard case is).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=default`` (or ``paper``) to rerun every benchmark at
+a larger scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def bench_scale() -> str:
+    """Scale preset used by the benchmarks (``smoke`` unless overridden)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark, scale):
+    """Run one experiment driver exactly once under the benchmark timer.
+
+    Returns the :class:`~repro.experiments.base.ExperimentResult`; the
+    rendered tables are echoed so the benchmark log contains the same rows
+    the paper's table/figure reports.
+    """
+
+    def _run(experiment_id: str, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,18 @@
+"""Ablation benchmark — proposals with and without CCD loop closure.
+
+Section III.C of the paper: mutated conformations generally violate the
+loop-closure condition, so CCD is applied to every proposal.  This ablation
+measures how much closure CCD restores compared to raw proposals.
+"""
+
+
+def test_ablation_ccd(run_paper_experiment):
+    result = run_paper_experiment("ablation_ccd")
+    data = result.data
+
+    # Essentially no raw proposal satisfies the closure condition...
+    assert data["raw_closed_fraction"] < 0.05
+    # ...while CCD closes a large share of them and slashes the mean error.
+    assert data["ccd_closed_fraction"] > data["raw_closed_fraction"]
+    assert data["closed_mean_error"] < data["raw_mean_error"] / 2
+    assert data["mean_ccd_sweeps"] > 0.0

@@ -1,0 +1,17 @@
+"""Benchmark FIG1 — CPU-only implementation time profile.
+
+Paper series (Fig. 1, 1cex(40:51), population 15,360, 100 iterations):
+loop closure + scoring functions take ~99% of the CPU wall-clock time
+(84.15% + 14.79%), everything else ~1%.
+"""
+
+
+def test_fig1_cpu_profile(run_paper_experiment):
+    result = run_paper_experiment("fig1")
+    data = result.data
+
+    # Shape check: the heavy kernels dominate, exactly the observation that
+    # motivates migrating them to the GPU.
+    assert data["heavy_fraction"] > 0.9
+    assert data["closure_fraction"] > data["scoring_fraction"]
+    assert data["other_fraction"] < 0.1

@@ -1,0 +1,23 @@
+"""Benchmark FIG3 — population size vs front diversity and best-decoy RMSD.
+
+Paper series (Fig. 3, 1akz(181:192), populations 100/1,000/10,000, 32
+trajectories): the average number of distinct non-dominated structures grows
+with the population size, and the average best-decoy RMSD improves.
+"""
+
+
+def test_fig3_population_size(run_paper_experiment):
+    result = run_paper_experiment("fig3")
+    data = result.data
+
+    populations = data["populations"]
+    distinct = data["mean_distinct_non_dominated"]
+    mean_best = data["mean_best_rmsd"]
+
+    assert len(populations) >= 3
+    assert populations == sorted(populations)
+    # Larger populations find more structurally distinct non-dominated
+    # conformations (the paper's main Fig. 3 observation)...
+    assert distinct[-1] > distinct[0]
+    # ...and the best decoy does not get worse.
+    assert mean_best[-1] <= mean_best[0] + 0.25

@@ -1,0 +1,19 @@
+"""Benchmark FIG4 — computational time vs population size, CPU vs CPU-GPU.
+
+Paper series (Fig. 4, 1cex(40:51), 512 to 15,360 threads, 100 iterations):
+CPU time grows ~30x over the sweep while the CPU-GPU time grows only 2.39x,
+so the speedup increases with the population size (up to ~42x).
+"""
+
+
+def test_fig4_speedup_scaling(run_paper_experiment):
+    result = run_paper_experiment("fig4")
+    data = result.data
+
+    speedups = data["speedups"]
+    # The batched backend wins at every population size...
+    assert all(s > 1.0 for s in speedups)
+    # ...its advantage grows with the population size...
+    assert speedups[-1] > speedups[0]
+    # ...because scalar CPU time grows much faster than batched time.
+    assert data["cpu_growth"] > data["gpu_growth"]

@@ -1,0 +1,22 @@
+"""Benchmark FIG6 — best decoys for the easy and the buried hard target.
+
+Paper result (Fig. 6): 3pte(91:101) is modelled to 0.42 A RMSD while the
+deeply buried 1xyz(813:824) is the only target that stays above 2 A
+(2.15 A); the burial (dense environment, clashes in every scoring function)
+is what makes it hard.
+"""
+
+
+def test_fig6_case_studies(run_paper_experiment):
+    result = run_paper_experiment("fig6")
+    data = result.data
+
+    # Both decoy sets are non-empty.
+    assert data["easy_n_decoys"] >= 1
+    assert data["hard_n_decoys"] >= 1
+    # The easy/hard contrast holds: the buried loop is modelled worse than
+    # the exposed one under identical sampling effort.
+    assert data["contrast_holds"]
+    assert data["hard_best_rmsd"] > data["easy_best_rmsd"]
+    # The hard case is hard because it is buried: its environment is denser.
+    assert data["hard_environment_atoms"] > data["easy_environment_atoms"]

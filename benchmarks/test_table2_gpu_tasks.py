@@ -1,0 +1,22 @@
+"""Benchmark TAB2 — GPU time per kernel and per memcpy category.
+
+Paper rows (Table II, 1cex(40:51), 15,360 threads, 100 iterations):
+[CCD] 75.2%, [EvalDIST] 14.3%, [EvalVDW] 8.39%, [EvalTRIP] 0.04%,
+[FitAssg] 1.33% of GPU time; all memcpy categories together below ~0.7%.
+"""
+
+
+def test_table2_gpu_task_breakdown(run_paper_experiment):
+    result = run_paper_experiment("table2")
+    data = result.data
+    fractions = data["kernel_fractions"]
+
+    # CCD dominates the kernel time, as in the paper.
+    assert data["dominant_kernel"] == "[CCD]"
+    assert fractions["[CCD]"] > 0.5
+    # The scoring kernels follow, with the table-lookup TRIPLET kernel
+    # negligible compared to the distance and VDW kernels.
+    assert fractions["[EvalTRIP]"] < fractions["[EvalDIST]"]
+    assert fractions["[EvalTRIP]"] < fractions["[EvalVDW]"]
+    # Host/device memory synchronisation stays a small fraction of GPU time.
+    assert data["transfer_fraction"] < 0.1

@@ -1,0 +1,19 @@
+"""Benchmark TAB3 — registers per thread and multiprocessor occupancy.
+
+Paper rows (Table III, GTX 280, 128-thread blocks, no shared memory):
+[CCD]/[EvalDIST]/[EvalVDW] at 32 registers -> 50% occupancy, [EvalTRIP] at
+20 registers -> 75%, the two [FitAssg] kernels at 8 and 5 registers -> 100%.
+"""
+
+from repro.experiments.occupancy_table import PAPER_TABLE3
+
+
+def test_table3_occupancy(run_paper_experiment):
+    result = run_paper_experiment("table3")
+    data = result.data
+
+    # This experiment is fully static, so it reproduces Table III exactly.
+    assert data["matches_paper"] is True
+    for kernel, (registers, paper_occupancy) in PAPER_TABLE3.items():
+        assert data["registers_per_thread"][kernel] == registers
+        assert abs(data["occupancies"][kernel] - paper_occupancy) < 1e-9

@@ -1,0 +1,35 @@
+"""Benchmark TAB4 — decoy quality over the long-loop benchmark targets.
+
+Paper rows (Table IV, 53 targets, 1,000 decoys each): 41/53 targets (77.4%)
+obtain a decoy within 1.0 A of the native and 48/53 (90.6%) within 1.5 A;
+shorter loops are solved more often than longer ones, and the buried
+1xyz(813:824) is the single failure case.
+
+At the benchmark's reduced sampling effort the absolute solved fractions are
+lower, so the shape checks are made against relaxed thresholds while the
+rendered table still reports the paper's 1.0 A / 1.5 A columns side by side
+with the measured ones.
+"""
+
+
+def test_table4_decoy_quality(run_paper_experiment):
+    result = run_paper_experiment("table4")
+    data = result.data
+
+    assert data["n_targets"] >= 5
+    fractions = data["solved_fractions"]
+    # Counts at relaxed thresholds dominate counts at strict ones (monotone
+    # in the threshold), and at least some targets are solved at the most
+    # relaxed resolution even at this reduced sampling effort.
+    thresholds = sorted(fractions)
+    for lo, hi in zip(thresholds, thresholds[1:]):
+        assert fractions[lo] <= fractions[hi]
+    assert fractions[thresholds[-1]] > 0.0
+    # Every target produced a non-empty decoy set with a finite best RMSD.
+    best_rmsds = data["best_rmsds"]
+    assert all(v < float("inf") for v in best_rmsds.values())
+    # The buried target remains a hard case whenever it is included: it is
+    # never the best-modelled target of the sweep.
+    if "1xyz(813:824)" in best_rmsds and len(best_rmsds) > 1:
+        others = [v for k, v in best_rmsds.items() if k != "1xyz(813:824)"]
+        assert best_rmsds["1xyz(813:824)"] >= min(others)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Drives the experiment registry (one driver per table/figure plus the
+ablations) at a chosen scale and writes both a plain-text report and a
+Markdown report.  ``smoke`` takes a couple of minutes; ``default`` takes
+tens of minutes; ``paper`` uses the paper's own parameters and takes hours
+on this pure-Python substrate.
+
+Run with::
+
+    python examples/reproduce_paper.py --scale smoke
+    python examples/reproduce_paper.py --scale default --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import list_experiments, run_experiments
+from repro.experiments.runner import PAPER_EXPERIMENTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "default", "paper"), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="also run the ablation experiments (Sections II, III.C, IV.B)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write a Markdown report to this path"
+    )
+    args = parser.parse_args()
+
+    ids = list(PAPER_EXPERIMENTS)
+    if args.ablations:
+        ids = list_experiments()
+
+    print(f"Running {len(ids)} experiments at scale {args.scale!r}...\n")
+    report = run_experiments(ids, scale=args.scale, seed=args.seed)
+    print(report.render())
+
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            handle.write("# Reproduction report\n\n")
+            handle.write(report.render_markdown())
+        print(f"\nMarkdown report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

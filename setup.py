@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is declared in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments whose pip/setuptools
+combination cannot build PEP 660 editable wheels (legacy ``setup.py develop``
+needs neither network access nor the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Analysis of sampling output: decoy quality, Pareto fronts, clustering.
+
+The paper's evaluation (Section V) asks four kinds of questions of the
+sampler's output, each served by one sub-module here:
+
+* :mod:`~repro.analysis.decoys` — how close do the generated decoys get to
+  the native loop (Table IV, Fig. 6)?
+* :mod:`~repro.analysis.pareto` — how large and how diverse is the
+  non-dominated set (Fig. 3, Fig. 5)?
+* :mod:`~repro.analysis.clustering` — do two decoy sets (e.g. from the CPU
+  and the GPU backends) populate the same structure clusters (the paper's
+  functional-equivalence argument)?
+* :mod:`~repro.analysis.statistics` — aggregate run statistics: trajectory
+  summaries, speedups, timing fractions.
+* :mod:`~repro.analysis.reporting` — plain-text tables in the style of the
+  paper's tables, shared by the experiment drivers and the benches.
+"""
+
+from repro.analysis.decoys import (
+    DecoyQualityReport,
+    TargetQuality,
+    evaluate_decoy_set,
+    quality_by_length,
+)
+from repro.analysis.pareto import (
+    ParetoFrontStats,
+    front_statistics,
+    hypervolume_2d,
+    pareto_front_indices,
+    spread,
+)
+from repro.analysis.clustering import (
+    Cluster,
+    cluster_overlap,
+    cluster_torsions,
+    leader_clusters,
+    structure_coverage,
+)
+from repro.analysis.statistics import (
+    SpeedupRecord,
+    TrajectoryStats,
+    compute_speedup,
+    summarize_rmsd_trajectories,
+    timing_fractions,
+)
+from repro.analysis.reporting import TextTable, format_seconds, render_rows
+
+__all__ = [
+    "DecoyQualityReport",
+    "TargetQuality",
+    "evaluate_decoy_set",
+    "quality_by_length",
+    "ParetoFrontStats",
+    "front_statistics",
+    "pareto_front_indices",
+    "hypervolume_2d",
+    "spread",
+    "Cluster",
+    "leader_clusters",
+    "cluster_torsions",
+    "cluster_overlap",
+    "structure_coverage",
+    "SpeedupRecord",
+    "TrajectoryStats",
+    "compute_speedup",
+    "summarize_rmsd_trajectories",
+    "timing_fractions",
+    "TextTable",
+    "render_rows",
+    "format_seconds",
+]

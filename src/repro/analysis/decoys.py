@@ -1,0 +1,210 @@
+"""Decoy-quality evaluation (the paper's Table IV and Fig. 6 metrics).
+
+The paper judges a target "solved" at a resolution threshold when the decoy
+set generated for it contains at least one conformation within that RMSD of
+the native loop.  Table IV counts, per loop length, how many of the 53
+benchmark targets are solved at 1.0 A and at 1.5 A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.moscem.decoys import DecoySet
+
+__all__ = [
+    "TargetQuality",
+    "DecoyQualityReport",
+    "evaluate_decoy_set",
+    "quality_by_length",
+    "DEFAULT_THRESHOLDS",
+]
+
+#: The RMSD thresholds the paper reports (Table IV columns).
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (1.0, 1.5)
+
+
+@dataclass(frozen=True)
+class TargetQuality:
+    """Decoy-quality summary for one benchmark target.
+
+    Attributes
+    ----------
+    target_name:
+        Paper-style target name, e.g. ``"1cex(40:51)"``.
+    loop_length:
+        Number of residues in the loop.
+    n_decoys:
+        Number of decoys generated for the target.
+    best_rmsd:
+        Lowest RMSD to the native found in the decoy set (A).
+    mean_rmsd / median_rmsd:
+        Mean and median decoy RMSD (A).
+    counts_below:
+        For each threshold, the number of decoys with RMSD below it.
+    """
+
+    target_name: str
+    loop_length: int
+    n_decoys: int
+    best_rmsd: float
+    mean_rmsd: float
+    median_rmsd: float
+    counts_below: Mapping[float, int]
+
+    def solved_at(self, threshold: float) -> bool:
+        """Whether the decoy set contains a conformation below ``threshold``."""
+        return self.best_rmsd < threshold
+
+
+def evaluate_decoy_set(
+    decoys: DecoySet,
+    target_name: str,
+    loop_length: int,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> TargetQuality:
+    """Summarise the quality of one target's decoy set.
+
+    Parameters
+    ----------
+    decoys:
+        The decoy set produced for the target.
+    target_name:
+        Name used in the report rows.
+    loop_length:
+        Loop length in residues (Table IV groups targets by this).
+    thresholds:
+        RMSD thresholds (A) at which decoy counts are reported.
+    """
+    rmsds = decoys.rmsds()
+    if rmsds.size == 0:
+        return TargetQuality(
+            target_name=target_name,
+            loop_length=int(loop_length),
+            n_decoys=0,
+            best_rmsd=float("inf"),
+            mean_rmsd=float("inf"),
+            median_rmsd=float("inf"),
+            counts_below={float(t): 0 for t in thresholds},
+        )
+    return TargetQuality(
+        target_name=target_name,
+        loop_length=int(loop_length),
+        n_decoys=len(decoys),
+        best_rmsd=float(rmsds.min()),
+        mean_rmsd=float(rmsds.mean()),
+        median_rmsd=float(np.median(rmsds)),
+        counts_below={float(t): int(np.sum(rmsds < t)) for t in thresholds},
+    )
+
+
+@dataclass
+class DecoyQualityReport:
+    """Aggregated decoy-quality report over many targets (the Table IV view).
+
+    Parameters
+    ----------
+    thresholds:
+        RMSD thresholds used for the "solved" columns.
+    """
+
+    thresholds: Tuple[float, ...] = DEFAULT_THRESHOLDS
+    entries: List[TargetQuality] = field(default_factory=list)
+
+    def add(self, quality: TargetQuality) -> None:
+        """Append one target's quality summary."""
+        self.entries.append(quality)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def n_targets(self) -> int:
+        """Number of targets in the report."""
+        return len(self.entries)
+
+    def solved_counts(self) -> Dict[float, int]:
+        """Number of targets solved at each threshold."""
+        return {
+            float(t): sum(1 for e in self.entries if e.solved_at(t))
+            for t in self.thresholds
+        }
+
+    def solved_fractions(self) -> Dict[float, float]:
+        """Fraction of targets solved at each threshold (paper: 77.4% / 90.6%)."""
+        n = self.n_targets()
+        counts = self.solved_counts()
+        return {t: (c / n if n else 0.0) for t, c in counts.items()}
+
+    def by_length(self) -> Dict[int, List[TargetQuality]]:
+        """Entries grouped by loop length (Table IV's rows)."""
+        groups: Dict[int, List[TargetQuality]] = {}
+        for entry in self.entries:
+            groups.setdefault(entry.loop_length, []).append(entry)
+        return dict(sorted(groups.items()))
+
+    def rows(self) -> List[Tuple[int, int, Dict[float, int]]]:
+        """Table IV rows: (loop length, #targets, {threshold: #solved})."""
+        out: List[Tuple[int, int, Dict[float, int]]] = []
+        for length, entries in self.by_length().items():
+            solved = {
+                float(t): sum(1 for e in entries if e.solved_at(t))
+                for t in self.thresholds
+            }
+            out.append((length, len(entries), solved))
+        return out
+
+    def worst_target(self) -> Optional[TargetQuality]:
+        """The target with the highest best-decoy RMSD (the hardest case)."""
+        if not self.entries:
+            return None
+        return max(self.entries, key=lambda e: e.best_rmsd)
+
+    def best_target(self) -> Optional[TargetQuality]:
+        """The target with the lowest best-decoy RMSD."""
+        if not self.entries:
+            return None
+        return min(self.entries, key=lambda e: e.best_rmsd)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, title: str = "Decoy quality by loop length") -> str:
+        """Plain-text rendering in the layout of the paper's Table IV."""
+        headers = ["# residues", "# targets"] + [f"< {t:.1f}A" for t in self.thresholds]
+        lines = [title, "-" * len(title)]
+        lines.append("".join(f"{h:>12}" for h in headers))
+        for length, count, solved in self.rows():
+            cells = [f"{length:>12}", f"{count:>12}"]
+            cells += [f"{solved[float(t)]:>12}" for t in self.thresholds]
+            lines.append("".join(cells))
+        total_solved = self.solved_counts()
+        fractions = self.solved_fractions()
+        total_cells = [f"{'Total':>12}", f"{self.n_targets():>12}"]
+        total_cells += [
+            f"{total_solved[float(t)]:>7} ({100.0 * fractions[float(t)]:.1f}%)"
+            for t in self.thresholds
+        ]
+        lines.append("".join(total_cells))
+        return "\n".join(lines)
+
+
+def quality_by_length(
+    qualities: Iterable[TargetQuality],
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> DecoyQualityReport:
+    """Bundle individual target qualities into a :class:`DecoyQualityReport`."""
+    report = DecoyQualityReport(thresholds=tuple(float(t) for t in thresholds))
+    for quality in qualities:
+        report.add(quality)
+    return report

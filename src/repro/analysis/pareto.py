@@ -1,0 +1,186 @@
+"""Pareto-front statistics.
+
+The population-size study (Fig. 3) and the front-evolution study (Fig. 5)
+both characterise the non-dominated set: how many structurally distinct
+members it has, how well it covers the scoring-function space, and how its
+members' RMSDs are distributed.  This module provides those measurements on
+raw score matrices, independent of the sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.moscem.dominance import non_dominated_mask
+from repro.scoring.normalization import normalize_scores
+
+__all__ = [
+    "ParetoFrontStats",
+    "pareto_front_indices",
+    "front_statistics",
+    "hypervolume_2d",
+    "spread",
+    "crowding_distance",
+]
+
+
+def pareto_front_indices(scores: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated members of a ``(N, K)`` score matrix."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.where(non_dominated_mask(scores))[0]
+
+
+def hypervolume_2d(front: np.ndarray, reference: Optional[np.ndarray] = None) -> float:
+    """Hypervolume dominated by a two-objective front (minimisation).
+
+    Parameters
+    ----------
+    front:
+        ``(F, 2)`` scores of the non-dominated members.
+    reference:
+        Reference point; defaults to the per-objective maximum of the front
+        (in which case extreme points contribute zero volume, which is fine
+        for relative comparisons between iterations).
+    """
+    front = np.asarray(front, dtype=np.float64)
+    if front.ndim != 2 or front.shape[1] != 2:
+        raise ValueError("hypervolume_2d requires a (F, 2) front")
+    if front.shape[0] == 0:
+        return 0.0
+    if reference is None:
+        reference = front.max(axis=0)
+    reference = np.asarray(reference, dtype=np.float64)
+    # Keep only points that actually dominate the reference point.
+    keep = np.all(front <= reference, axis=1)
+    front = front[keep]
+    if front.shape[0] == 0:
+        return 0.0
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    volume = 0.0
+    prev_y = reference[1]
+    for x, y in front:
+        if y < prev_y:
+            volume += (reference[0] - x) * (prev_y - y)
+            prev_y = y
+    return float(volume)
+
+
+def crowding_distance(front: np.ndarray) -> np.ndarray:
+    """NSGA-II style crowding distance of each front member.
+
+    Boundary members of every objective receive infinite distance.  Used as
+    a diversity measure: a well-spread front has larger finite distances.
+    """
+    front = np.asarray(front, dtype=np.float64)
+    if front.ndim != 2:
+        raise ValueError("front must have shape (F, K)")
+    f, k = front.shape
+    distance = np.zeros(f, dtype=np.float64)
+    if f <= 2:
+        return np.full(f, np.inf)
+    for obj in range(k):
+        order = np.argsort(front[:, obj])
+        sorted_vals = front[order, obj]
+        span = sorted_vals[-1] - sorted_vals[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0.0:
+            continue
+        contributions = (sorted_vals[2:] - sorted_vals[:-2]) / span
+        distance[order[1:-1]] += contributions
+    return distance
+
+
+def spread(front: np.ndarray) -> float:
+    """Mean pairwise distance between normalised front members.
+
+    A scalar summary of front diversity: 0 when all members coincide and
+    approaching the normalised-space diameter for a well-spread front.
+    """
+    front = np.asarray(front, dtype=np.float64)
+    if front.ndim != 2:
+        raise ValueError("front must have shape (F, K)")
+    if front.shape[0] < 2:
+        return 0.0
+    normalized = normalize_scores(front)
+    diff = normalized[:, None, :] - normalized[None, :, :]
+    dists = np.sqrt(np.sum(diff * diff, axis=-1))
+    upper = dists[np.triu_indices(front.shape[0], k=1)]
+    return float(upper.mean())
+
+
+@dataclass(frozen=True)
+class ParetoFrontStats:
+    """Summary statistics of one population's Pareto front.
+
+    Attributes
+    ----------
+    front_size:
+        Number of non-dominated members.
+    population_size:
+        Total number of members the front was extracted from.
+    spread:
+        Mean pairwise distance between normalised front members.
+    best_rmsd / mean_rmsd:
+        RMSD statistics of the front members (NaN when RMSDs not supplied).
+    score_mins / score_maxs:
+        Per-objective minimum and maximum over the front.
+    """
+
+    front_size: int
+    population_size: int
+    spread: float
+    best_rmsd: float
+    mean_rmsd: float
+    score_mins: Tuple[float, ...]
+    score_maxs: Tuple[float, ...]
+
+    @property
+    def front_fraction(self) -> float:
+        """Fraction of the population that is non-dominated."""
+        if self.population_size <= 0:
+            return 0.0
+        return self.front_size / self.population_size
+
+
+def front_statistics(
+    scores: np.ndarray, rmsd: Optional[np.ndarray] = None
+) -> ParetoFrontStats:
+    """Compute :class:`ParetoFrontStats` for a score matrix (and optional RMSDs)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must have shape (N, K)")
+    indices = pareto_front_indices(scores)
+    front = scores[indices]
+
+    if rmsd is not None:
+        rmsd = np.asarray(rmsd, dtype=np.float64)
+        if rmsd.shape[0] != scores.shape[0]:
+            raise ValueError("rmsd must have one entry per population member")
+        front_rmsd = rmsd[indices]
+        best = float(front_rmsd.min()) if front_rmsd.size else float("inf")
+        mean = float(front_rmsd.mean()) if front_rmsd.size else float("inf")
+    else:
+        best = float("nan")
+        mean = float("nan")
+
+    if front.size:
+        mins = tuple(float(v) for v in front.min(axis=0))
+        maxs = tuple(float(v) for v in front.max(axis=0))
+    else:
+        mins = tuple()
+        maxs = tuple()
+
+    return ParetoFrontStats(
+        front_size=int(indices.size),
+        population_size=int(scores.shape[0]),
+        spread=spread(front) if front.size else 0.0,
+        best_rmsd=best,
+        mean_rmsd=mean,
+        score_mins=mins,
+        score_maxs=maxs,
+    )

@@ -1,0 +1,132 @@
+"""Plain-text table rendering shared by the experiment drivers.
+
+Every experiment driver renders its result as a table comparable with the
+corresponding table or figure of the paper.  :class:`TextTable` keeps that
+rendering in one place: fixed-width plain text (readable in a terminal or a
+log file) plus a Markdown variant for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["TextTable", "render_rows", "format_seconds", "format_fraction"]
+
+Cell = Union[str, int, float]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable seconds: microseconds to hours."""
+    if seconds < 0.0:
+        raise ValueError("seconds must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def format_fraction(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def _format_cell(value: Cell, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A small fixed-width / Markdown table builder.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    title:
+        Optional table title rendered above the table.
+    float_digits:
+        Number of decimal digits used for float cells.
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    float_digits: int = 3
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row; the number of cells must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(c, self.float_digits) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[Cell]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _widths(self) -> List[int]:
+        widths = [len(str(h)) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Fixed-width plain-text rendering."""
+        widths = self._widths()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("-" * len(self.title))
+        header = "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def render_rows(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    float_digits: int = 3,
+) -> str:
+    """One-shot helper: build and render a :class:`TextTable`."""
+    table = TextTable(headers=headers, title=title, float_digits=float_digits)
+    table.extend(rows)
+    return table.render()

@@ -1,0 +1,150 @@
+"""Aggregate run statistics: trajectory summaries, speedups, timing fractions.
+
+These helpers turn raw sampler output into the numbers the paper reports:
+
+* Fig. 3 — minimum / maximum / average best-decoy RMSD over independent
+  trajectories, and the average count of distinct non-dominated structures;
+* Fig. 4 and Table I — CPU vs CPU-GPU speedups;
+* Fig. 1 and Table II — fractions of time spent per component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.timing import TimingLedger
+
+__all__ = [
+    "TrajectoryStats",
+    "SpeedupRecord",
+    "summarize_rmsd_trajectories",
+    "compute_speedup",
+    "timing_fractions",
+    "KERNEL_GROUPS",
+]
+
+#: Mapping of ledger section names to the coarse groups plotted in Fig. 1
+#: (loop closure + scoring evaluation dominate; everything else is "other").
+KERNEL_GROUPS: Dict[str, str] = {
+    "CCD": "closure",
+    "EvalVDW": "scoring",
+    "EvalDIST": "scoring",
+    "EvalTRIP": "scoring",
+    "FitAssg within Population": "fitness",
+    "FitAssg within Complex": "fitness",
+}
+
+
+@dataclass(frozen=True)
+class TrajectoryStats:
+    """Statistics over a set of independent sampling trajectories (Fig. 3).
+
+    Attributes
+    ----------
+    n_trajectories:
+        Number of independent trajectories aggregated.
+    mean_distinct_non_dominated:
+        Average number of structurally distinct non-dominated conformations
+        per trajectory.
+    min_best_rmsd / max_best_rmsd / mean_best_rmsd:
+        Extremes and mean of the per-trajectory best-decoy RMSD.
+    """
+
+    n_trajectories: int
+    mean_distinct_non_dominated: float
+    min_best_rmsd: float
+    max_best_rmsd: float
+    mean_best_rmsd: float
+
+
+def summarize_rmsd_trajectories(
+    best_rmsds: Sequence[float],
+    distinct_counts: Sequence[int],
+) -> TrajectoryStats:
+    """Aggregate per-trajectory best RMSDs and distinct-structure counts.
+
+    Parameters
+    ----------
+    best_rmsds:
+        Best (lowest) decoy RMSD found in each trajectory.
+    distinct_counts:
+        Number of structurally distinct non-dominated conformations each
+        trajectory produced.
+    """
+    best = np.asarray(list(best_rmsds), dtype=np.float64)
+    counts = np.asarray(list(distinct_counts), dtype=np.float64)
+    if best.size == 0 or counts.size == 0:
+        raise ValueError("at least one trajectory is required")
+    if best.size != counts.size:
+        raise ValueError("best_rmsds and distinct_counts must have the same length")
+    return TrajectoryStats(
+        n_trajectories=int(best.size),
+        mean_distinct_non_dominated=float(counts.mean()),
+        min_best_rmsd=float(best.min()),
+        max_best_rmsd=float(best.max()),
+        mean_best_rmsd=float(best.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class SpeedupRecord:
+    """One speedup comparison row (Fig. 4 points, Table I rows).
+
+    Attributes
+    ----------
+    label:
+        Description of the workload (target name or population size).
+    population_size:
+        Population size ("number of threads") of the comparison.
+    cpu_seconds / gpu_seconds:
+        Wall-clock time of the CPU-only and CPU-GPU runs.
+    """
+
+    label: str
+    population_size: int
+    cpu_seconds: float
+    gpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """CPU time divided by CPU-GPU time (the paper's ~40x figure)."""
+        if self.gpu_seconds <= 0.0:
+            return float("inf")
+        return self.cpu_seconds / self.gpu_seconds
+
+
+def compute_speedup(
+    cpu_seconds: float, gpu_seconds: float, label: str = "", population_size: int = 0
+) -> SpeedupRecord:
+    """Build a :class:`SpeedupRecord` from two timings."""
+    if cpu_seconds < 0.0 or gpu_seconds < 0.0:
+        raise ValueError("timings must be non-negative")
+    return SpeedupRecord(
+        label=label,
+        population_size=int(population_size),
+        cpu_seconds=float(cpu_seconds),
+        gpu_seconds=float(gpu_seconds),
+    )
+
+
+def timing_fractions(
+    ledger: TimingLedger,
+    groups: Optional[Mapping[str, str]] = None,
+) -> Dict[str, float]:
+    """Grouped timing fractions of a ledger (the Fig. 1 pie-chart numbers).
+
+    Parameters
+    ----------
+    ledger:
+        A :class:`~repro.utils.timing.TimingLedger` with kernel/section
+        records.
+    groups:
+        Mapping of section name to group label; defaults to
+        :data:`KERNEL_GROUPS` (closure / scoring / fitness, everything else
+        grouped under ``"other"``).
+    """
+    groups = dict(KERNEL_GROUPS) if groups is None else dict(groups)
+    return ledger.grouped_fractions(groups)

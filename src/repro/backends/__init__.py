@@ -1,0 +1,36 @@
+"""Execution backends for the sampler's heavy kernels.
+
+The paper's program exists in two flavours that this package mirrors:
+
+* :class:`~repro.backends.cpu.CPUBackend` — the reference CPU-only
+  implementation: every conformation is processed one at a time with the
+  scalar kernels (loop closure, scoring), exactly the per-member loop the
+  paper profiles in Fig. 1.
+* :class:`~repro.backends.gpu.GPUBackend` — the heterogeneous "CPU-GPU"
+  implementation: the expensive kernels (CCD, the three scoring functions,
+  fitness assignment) run as population-batched vectorised operations on the
+  simulated SIMT engine, one logical thread per conformation, while sorting,
+  partitioning and assembly stay on the host.  Kernel timings and simulated
+  host/device transfers are recorded by the engine's profiler.
+
+Both backends expose the same :class:`~repro.backends.base.SamplingBackend`
+interface, so the MOSCEM sampler is oblivious to which one it runs on — the
+same property that lets the paper claim functional equivalence between its
+CPU and CPU-GPU programs.
+"""
+
+from repro.backends.base import SamplingBackend
+from repro.backends.cpu import CPUBackend
+from repro.backends.gpu import GPUBackend
+
+__all__ = ["SamplingBackend", "CPUBackend", "GPUBackend", "make_backend"]
+
+
+def make_backend(kind: str, target, multi_score, config, **kwargs):
+    """Factory: build a backend by name (``"cpu"`` or ``"gpu"``)."""
+    kind = kind.lower()
+    if kind == "cpu":
+        return CPUBackend(target, multi_score, config, **kwargs)
+    if kind in ("gpu", "cpu-gpu", "simt"):
+        return GPUBackend(target, multi_score, config, **kwargs)
+    raise ValueError(f"unknown backend kind: {kind!r}")

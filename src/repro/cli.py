@@ -1,0 +1,151 @@
+"""Command-line interface.
+
+Two entry points are exposed (see ``pyproject.toml``):
+
+``repro-experiments``
+    Run one, several or all experiment drivers at a chosen scale and print
+    their result tables, e.g.::
+
+        repro-experiments --scale smoke fig1 table3
+        repro-experiments --scale default --all --markdown > results.md
+
+``repro-sample``
+    Run the MOSCEM sampler on one benchmark target and print a summary of
+    the run, optionally writing the best decoy as a PDB file, e.g.::
+
+        repro-sample 1cex"(40:51)" --population 256 --iterations 20 \\
+            --backend gpu --pdb best.pdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.config import SamplingConfig
+from repro.experiments import list_experiments, run_experiments
+from repro.experiments.runner import PAPER_EXPERIMENTS
+from repro.loops.targets import benchmark_registry, get_target
+from repro.moscem.sampler import MOSCEMSampler
+from repro.protein.pdb import loop_to_pdb
+from repro.utils.logging import configure_logging
+
+__all__ = ["experiments_main", "sample_main"]
+
+
+def _experiments_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the paper-reproduction experiment drivers.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids to run (available: {', '.join(list_experiments())}); "
+        "defaults to every table/figure of the paper",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "default", "paper"),
+        default="smoke",
+        help="scale preset (smoke: seconds, default: minutes, paper: hours)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment, ablations included"
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of plain text"
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    return parser
+
+
+def experiments_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-experiments``."""
+    configure_logging()
+    args = _experiments_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if args.all:
+        ids: List[str] = list_experiments()
+    elif args.experiments:
+        ids = list(args.experiments)
+    else:
+        ids = list(PAPER_EXPERIMENTS)
+    report = run_experiments(ids, scale=args.scale, seed=args.seed)
+    print(report.render_markdown() if args.markdown else report.render())
+    return 0
+
+
+def _sample_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sample",
+        description="Run the MOSCEM multi-scoring sampler on one benchmark target.",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default="1cex(40:51)",
+        help='target name, e.g. "1cex(40:51)" (default) or a bare PDB id',
+    )
+    parser.add_argument("--population", type=int, default=256, help="population size")
+    parser.add_argument("--complexes", type=int, default=8, help="number of complexes")
+    parser.add_argument("--iterations", type=int, default=20, help="MOSCEM iterations")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--backend", choices=("cpu", "gpu"), default="gpu", help="execution backend"
+    )
+    parser.add_argument(
+        "--pdb", default=None, help="write the best decoy to this PDB file"
+    )
+    parser.add_argument(
+        "--list-targets", action="store_true", help="list benchmark targets and exit"
+    )
+    return parser
+
+
+def sample_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-sample``."""
+    configure_logging()
+    args = _sample_parser().parse_args(argv)
+    if args.list_targets:
+        for entry in benchmark_registry():
+            print(f"{entry.name}  ({entry.length} residues"
+                  f"{', buried' if entry.buried else ''})")
+        return 0
+
+    target = get_target(args.target)
+    config = SamplingConfig(
+        population_size=args.population,
+        n_complexes=args.complexes,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    sampler = MOSCEMSampler(target, config=config, backend_kind=args.backend)
+    result = sampler.run()
+    decoys = result.distinct_non_dominated()
+
+    print(f"target              : {target.describe()}")
+    print(f"backend             : {result.backend_name}")
+    print(f"population x iters  : {config.population_size} x {config.iterations}")
+    print(f"wall time           : {result.wall_seconds:.2f} s")
+    print(f"non-dominated       : {result.n_non_dominated()}")
+    print(f"distinct decoys     : {len(decoys)}")
+    print(f"best RMSD           : {result.best_rmsd:.2f} A")
+    print(f"best front RMSD     : {result.best_non_dominated_rmsd:.2f} A")
+    print(f"final acceptance    : "
+          f"{result.acceptance_history[-1]:.2f}" if result.acceptance_history else "")
+
+    if args.pdb and len(decoys):
+        best = min(decoys, key=lambda d: d.rmsd)
+        loop_to_pdb(best.coords, target.sequence, args.pdb)
+        print(f"best decoy written  : {args.pdb}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(experiments_main())

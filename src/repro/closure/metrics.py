@@ -1,0 +1,19 @@
+"""Closure quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rmsd import coordinate_rmsd
+
+__all__ = ["closure_rmsd", "is_closed"]
+
+
+def closure_rmsd(closure_atoms: np.ndarray, c_anchor: np.ndarray) -> float:
+    """RMSD (A) between the built closure atoms and the fixed C-anchor atoms."""
+    return coordinate_rmsd(closure_atoms, c_anchor)
+
+
+def is_closed(closure_atoms: np.ndarray, c_anchor: np.ndarray, tolerance: float = 0.25) -> bool:
+    """Whether the loop end matches the anchor within ``tolerance`` Angstroms."""
+    return closure_rmsd(closure_atoms, c_anchor) <= tolerance

@@ -1,0 +1,153 @@
+"""Run-configuration dataclasses for the sampler and the experiment drivers.
+
+The paper's headline runs use a population of 15,360 conformations split
+into 120 complexes, evolved for 100 iterations.  Those numbers are far too
+expensive for routine test runs, so every experiment driver accepts a
+:class:`SamplingConfig` (and the benches construct scaled-down ones); the
+defaults here are moderate laptop-scale values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingConfig:
+    """Parameters of a single MOSCEM sampling trajectory.
+
+    Attributes
+    ----------
+    population_size:
+        Number of loop conformations evolved in parallel (the paper's
+        "number of threads").
+    n_complexes:
+        Number of complexes the population is partitioned into.  Must divide
+        ``population_size``.
+    iterations:
+        Number of MOSCEM outer iterations (fitness assignment + complex
+        evolution + assembly).
+    temperature:
+        Initial Metropolis temperature on the fitness landscape.
+    temperature_min / temperature_max:
+        Bounds for the adaptive temperature schedule.
+    target_acceptance:
+        Target Metropolis acceptance rate used by the annealing controller.
+    mutation_angles:
+        Number of torsion angles mutated when proposing a new conformation.
+    mutation_sigma:
+        Standard deviation (radians) of the Gaussian torsion perturbation.
+    ccd_iterations:
+        Maximum CCD sweeps applied to close a proposed loop.
+    ccd_tolerance:
+        Anchor RMSD (A) below which the loop is considered closed.
+    require_closure:
+        When true (the default), the Metropolis step only accepts proposals
+        whose closure error is within ``closure_tolerance_factor`` times the
+        CCD tolerance — the paper's "reasonable loop models are those
+        satisfying the loop closure condition".
+    closure_tolerance_factor:
+        Multiple of ``ccd_tolerance`` a proposal's closure error may reach
+        and still be accepted.
+    seed:
+        Seed of the trajectory master RNG.
+    """
+
+    population_size: int = 256
+    n_complexes: int = 8
+    iterations: int = 20
+    temperature: float = 1.0
+    temperature_min: float = 0.05
+    temperature_max: float = 10.0
+    target_acceptance: float = 0.3
+    mutation_angles: int = 2
+    mutation_sigma: float = math.radians(30.0)
+    ccd_iterations: int = 30
+    ccd_tolerance: float = 0.25
+    require_closure: bool = True
+    closure_tolerance_factor: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size <= 0:
+            raise ValueError("population_size must be positive")
+        if self.n_complexes <= 0:
+            raise ValueError("n_complexes must be positive")
+        if self.population_size % self.n_complexes != 0:
+            raise ValueError(
+                "population_size (%d) must be divisible by n_complexes (%d)"
+                % (self.population_size, self.n_complexes)
+            )
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        if not (0.0 < self.target_acceptance < 1.0):
+            raise ValueError("target_acceptance must be in (0, 1)")
+        if self.mutation_angles <= 0:
+            raise ValueError("mutation_angles must be positive")
+        if self.ccd_iterations < 0:
+            raise ValueError("ccd_iterations must be non-negative")
+        if self.closure_tolerance_factor <= 0.0:
+            raise ValueError("closure_tolerance_factor must be positive")
+
+    @property
+    def complex_size(self) -> int:
+        """Number of conformations per complex."""
+        return self.population_size // self.n_complexes
+
+    def scaled(self, factor: float) -> "SamplingConfig":
+        """Return a copy with population and iterations scaled by ``factor``.
+
+        The complex count is adjusted to keep roughly the paper's ratio of
+        128 members per complex while still dividing the population size.
+        """
+        pop = max(self.n_complexes, int(round(self.population_size * factor)))
+        pop -= pop % self.n_complexes
+        pop = max(pop, self.n_complexes)
+        iters = max(1, int(round(self.iterations * factor)))
+        return dataclasses.replace(self, population_size=pop, iterations=iters)
+
+    def with_seed(self, seed: int) -> "SamplingConfig":
+        """Return a copy with a different RNG seed."""
+        return dataclasses.replace(self, seed=seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperConfig:
+    """The parameter set used for the paper's headline results."""
+
+    population_size: int = 15360
+    n_complexes: int = 120
+    iterations: int = 100
+    decoys_per_target: int = 1000
+    benchmark_targets: int = 53
+
+    def to_sampling_config(self, seed: int = 0) -> SamplingConfig:
+        """Convert the paper's headline parameters to a ``SamplingConfig``."""
+        return SamplingConfig(
+            population_size=self.population_size,
+            n_complexes=self.n_complexes,
+            iterations=self.iterations,
+            seed=seed,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DecoyGenerationConfig:
+    """Parameters controlling decoy-set accumulation across trajectories.
+
+    The paper repeats sampling trajectories with different seeds until the
+    decoy set holds 1,000 structurally distinct decoys (maximum torsion
+    deviation of at least 30 degrees from every decoy already kept).
+    """
+
+    target_decoys: int = 1000
+    max_trajectories: int = 50
+    distinctness_threshold: Optional[float] = None  # None -> constants default
+
+    def __post_init__(self) -> None:
+        if self.target_decoys <= 0:
+            raise ValueError("target_decoys must be positive")
+        if self.max_trajectories <= 0:
+            raise ValueError("max_trajectories must be positive")

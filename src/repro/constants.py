@@ -1,0 +1,175 @@
+"""Physical constants and ideal backbone geometry parameters.
+
+The sampler represents a loop conformation purely by its backbone torsion
+angles (phi, psi); bond lengths, bond angles and the omega torsion are kept
+at their ideal/average values, exactly as stated in Section III.A of the
+paper.  This module collects those ideal values together with per-residue
+data (van der Waals radii, side-chain centroid parameters, Ramachandran
+basin assignments) used by the scoring functions and the synthetic loop
+library.
+
+All distances are in Angstroms and all angles in radians unless the name
+says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Ideal backbone covalent geometry (Engh & Huber averages, rounded).
+# ---------------------------------------------------------------------------
+
+#: N-CA bond length (A)
+BOND_N_CA: float = 1.458
+#: CA-C bond length (A)
+BOND_CA_C: float = 1.525
+#: C-N peptide bond length (A)
+BOND_C_N: float = 1.329
+#: C=O carbonyl bond length (A)
+BOND_C_O: float = 1.231
+
+#: Backbone bond angles (radians)
+ANGLE_N_CA_C: float = math.radians(111.2)
+ANGLE_CA_C_N: float = math.radians(116.2)
+ANGLE_C_N_CA: float = math.radians(121.7)
+ANGLE_CA_C_O: float = math.radians(120.8)
+
+#: The omega (peptide bond) torsion is fixed at 180 degrees (trans).
+OMEGA_TRANS: float = math.pi
+
+#: Number of heavy backbone atoms modelled per residue (N, CA, C, O).
+BACKBONE_ATOMS_PER_RESIDUE: int = 4
+
+#: Names of the modelled backbone atoms, in chain order.
+BACKBONE_ATOM_NAMES: Tuple[str, ...] = ("N", "CA", "C", "O")
+
+#: Index of each backbone atom name within a residue block.
+BACKBONE_ATOM_INDEX: Dict[str, int] = {
+    name: i for i, name in enumerate(BACKBONE_ATOM_NAMES)
+}
+
+# ---------------------------------------------------------------------------
+# Van der Waals radii for the soft-sphere scoring function.
+#
+# The soft-sphere potential of Zhang et al. (ref [8] in the paper) uses
+# hard-sphere radii softened by allowing partial overlap.  We use standard
+# united-atom radii for backbone heavy atoms and a per-residue radius for
+# the side-chain centroid pseudo-atom.
+# ---------------------------------------------------------------------------
+
+#: Van der Waals radii of backbone atoms (A).
+VDW_RADIUS: Dict[str, float] = {
+    "N": 1.55,
+    "CA": 1.70,
+    "C": 1.70,
+    "O": 1.52,
+    "CB": 1.70,
+    "CEN": 2.00,  # generic side-chain centroid pseudo-atom
+}
+
+#: Fraction of the sum of radii below which two atoms are considered
+#: clashing by the soft-sphere potential (allows ~15% overlap before
+#: penalising, mimicking the "soft" sphere).
+SOFT_SPHERE_TOLERANCE: float = 0.85
+
+# ---------------------------------------------------------------------------
+# Amino-acid data.
+# ---------------------------------------------------------------------------
+
+#: Three-letter to one-letter amino acid code.
+THREE_TO_ONE: Dict[str, str] = {
+    "ALA": "A", "ARG": "R", "ASN": "N", "ASP": "D", "CYS": "C",
+    "GLN": "Q", "GLU": "E", "GLY": "G", "HIS": "H", "ILE": "I",
+    "LEU": "L", "LYS": "K", "MET": "M", "PHE": "F", "PRO": "P",
+    "SER": "S", "THR": "T", "TRP": "W", "TYR": "Y", "VAL": "V",
+}
+
+#: One-letter to three-letter amino acid code.
+ONE_TO_THREE: Dict[str, str] = {v: k for k, v in THREE_TO_ONE.items()}
+
+#: Canonical ordering of the twenty amino acids (one-letter codes).
+AMINO_ACIDS: Tuple[str, ...] = tuple(sorted(ONE_TO_THREE))
+
+#: Integer index of each amino acid, used to index knowledge-based tables.
+AA_INDEX: Dict[str, int] = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+
+#: Approximate side-chain centroid distance from CA (A), by residue.
+#: Glycine has no side chain (centroid collapses onto CA); larger residues
+#: project their centroid further from the backbone.
+CENTROID_DISTANCE: Dict[str, float] = {
+    "A": 1.5, "R": 4.1, "N": 2.5, "D": 2.5, "C": 2.1,
+    "Q": 3.1, "E": 3.1, "G": 0.0, "H": 3.1, "I": 2.3,
+    "L": 2.6, "K": 3.5, "M": 2.9, "F": 3.4, "P": 1.9,
+    "S": 1.9, "T": 1.9, "W": 3.9, "Y": 3.8, "V": 2.0,
+}
+
+#: Approximate side-chain centroid radius (A), by residue.  Used for the
+#: atom-centroid and centroid-centroid terms of the soft-sphere potential.
+CENTROID_RADIUS: Dict[str, float] = {
+    "A": 1.8, "R": 2.9, "N": 2.2, "D": 2.2, "C": 2.1,
+    "Q": 2.5, "E": 2.5, "G": 0.0, "H": 2.6, "I": 2.4,
+    "L": 2.5, "K": 2.7, "M": 2.6, "F": 2.8, "P": 2.2,
+    "S": 1.9, "T": 2.1, "W": 3.0, "Y": 2.9, "V": 2.2,
+}
+
+# ---------------------------------------------------------------------------
+# Ramachandran basins.
+#
+# Used by the synthetic loop library and the mutation operators.  Each basin
+# is (phi_mean, psi_mean, phi_sigma, psi_sigma, weight); angles in radians.
+# ---------------------------------------------------------------------------
+
+#: Ramachandran basins for a generic (non-GLY, non-PRO) residue.
+RAMACHANDRAN_BASINS_GENERIC: Tuple[Tuple[float, float, float, float, float], ...] = (
+    # alpha-helical basin
+    (math.radians(-63.0), math.radians(-43.0), math.radians(12.0), math.radians(12.0), 0.42),
+    # beta-sheet basin
+    (math.radians(-120.0), math.radians(135.0), math.radians(20.0), math.radians(20.0), 0.38),
+    # polyproline II basin
+    (math.radians(-75.0), math.radians(150.0), math.radians(15.0), math.radians(15.0), 0.15),
+    # left-handed alpha basin
+    (math.radians(57.0), math.radians(45.0), math.radians(12.0), math.radians(12.0), 0.05),
+)
+
+#: Ramachandran basins for glycine (symmetric, broad).
+RAMACHANDRAN_BASINS_GLY: Tuple[Tuple[float, float, float, float, float], ...] = (
+    (math.radians(-63.0), math.radians(-43.0), math.radians(18.0), math.radians(18.0), 0.25),
+    (math.radians(63.0), math.radians(43.0), math.radians(18.0), math.radians(18.0), 0.25),
+    (math.radians(-120.0), math.radians(135.0), math.radians(25.0), math.radians(25.0), 0.25),
+    (math.radians(100.0), math.radians(-170.0), math.radians(25.0), math.radians(25.0), 0.25),
+)
+
+#: Ramachandran basins for proline (phi restricted near -65).
+RAMACHANDRAN_BASINS_PRO: Tuple[Tuple[float, float, float, float, float], ...] = (
+    (math.radians(-65.0), math.radians(-35.0), math.radians(8.0), math.radians(10.0), 0.45),
+    (math.radians(-65.0), math.radians(150.0), math.radians(8.0), math.radians(15.0), 0.55),
+)
+
+
+def ramachandran_basins(aa: str):
+    """Return the Ramachandran basin tuple for a one-letter residue code."""
+    if aa == "G":
+        return RAMACHANDRAN_BASINS_GLY
+    if aa == "P":
+        return RAMACHANDRAN_BASINS_PRO
+    return RAMACHANDRAN_BASINS_GENERIC
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous numeric constants.
+# ---------------------------------------------------------------------------
+
+#: Two pi, used for angle wrapping.
+TWO_PI: float = 2.0 * math.pi
+
+#: Default numeric dtype used throughout the batched code.
+DEFAULT_DTYPE = np.float64
+
+#: Distinctness threshold (radians) between two decoys: the paper adds a
+#: non-dominated conformation to the decoy set only if the maximum torsion
+#: deviation from every decoy already in the set is at least 30 degrees.
+DECOY_DISTINCTNESS_THRESHOLD: float = math.radians(30.0)

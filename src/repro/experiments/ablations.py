@@ -1,0 +1,309 @@
+"""Ablation experiments for the design choices the paper argues for.
+
+The paper motivates three design decisions that are not themselves tables or
+figures but underpin the evaluation; each gets an ablation driver here:
+
+* ``ablation_multi_vs_single`` — Section II: sampling multiple scoring
+  functions vs globally optimising a single composite score.  The
+  multi-scoring sampler is compared against the simulated-annealing baseline
+  on the same target with the same budget.
+* ``ablation_ccd`` — Section III.C: proposals must be re-closed with CCD;
+  without closure the loop end drifts away from the C-terminal anchor and
+  the conformations stop being valid loop models.
+* ``ablation_batch_kernels`` — Section IV.B: the rationale for migrating the
+  heavy kernels (CCD and scoring) to the GPU is that batched evaluation of
+  the whole population is far cheaper per conformation than scalar
+  evaluation; this ablation times the two paths kernel by kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.reporting import TextTable, format_seconds
+from repro.closure.ccd import ccd_close_batch
+from repro.config import SamplingConfig
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    Scale,
+    register_experiment,
+)
+from repro.loops.ramachandran import RamachandranModel
+from repro.loops.targets import get_target
+from repro.moscem.baseline import SimulatedAnnealingBaseline
+from repro.moscem.sampler import MOSCEMSampler
+from repro.scoring import default_multi_score
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "MultiVsSingleObjectiveExperiment",
+    "CCDAblationExperiment",
+    "BatchKernelAblationExperiment",
+]
+
+
+@register_experiment
+class MultiVsSingleObjectiveExperiment(Experiment):
+    """Multi-scoring sampling vs single-objective optimisation (Section II)."""
+
+    experiment_id = "ablation_multi_vs_single"
+    title = "Multi-scoring-functions sampling vs single-objective optimisation"
+    paper_reference = "Section II (motivation for multi-scoring sampling)"
+
+    target_name = "5pti(7:17)"
+
+    scale_configs: Mapping[Scale, SamplingConfig] = {
+        "smoke": SamplingConfig(population_size=64, n_complexes=4, iterations=8),
+        "default": SamplingConfig(population_size=256, n_complexes=8, iterations=20),
+        "paper": SamplingConfig(population_size=15360, n_complexes=120, iterations=100),
+    }
+
+    def execute(self, scale: Scale) -> ExperimentResult:
+        config = self.config_for_scale(scale)
+        target = get_target(self.target_name)
+
+        sampler = MOSCEMSampler(target, config=config, backend_kind="gpu")
+        moscem_run = sampler.run()
+        moscem_decoys = moscem_run.distinct_non_dominated()
+
+        baseline = SimulatedAnnealingBaseline(target, config=config)
+        baseline_run = baseline.run()
+
+        table = TextTable(
+            headers=[
+                "method",
+                "decision metric",
+                "best RMSD (A)",
+                "committed RMSD (A)",
+                "#distinct structures",
+            ],
+            title=f"Multi-objective sampling vs single-objective optimisation "
+            f"on {target.name}",
+            float_digits=2,
+        )
+        table.add_row(
+            "MOSCEM multi-scoring sampling",
+            "whole non-dominated decoy set",
+            moscem_run.best_rmsd,
+            moscem_run.best_non_dominated_rmsd,
+            len(moscem_decoys),
+        )
+        table.add_row(
+            "simulated annealing on composite score",
+            "single minimum-score structure",
+            baseline_run.best_rmsd,
+            baseline_run.best_score_rmsd,
+            1,
+        )
+
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_reference=self.paper_reference,
+            scale=scale,
+            tables=[table],
+            data={
+                "moscem_best_rmsd": moscem_run.best_rmsd,
+                "moscem_front_best_rmsd": moscem_run.best_non_dominated_rmsd,
+                "moscem_distinct": len(moscem_decoys),
+                "baseline_best_rmsd": baseline_run.best_rmsd,
+                "baseline_committed_rmsd": baseline_run.best_score_rmsd,
+            },
+        )
+        result.notes.append(
+            "the multi-scoring sampler exposes a diversified decoy set; the "
+            "single-objective baseline must commit to its one minimum-score "
+            "structure, which is the disadvantage Section II describes."
+        )
+        return result
+
+
+@register_experiment
+class CCDAblationExperiment(Experiment):
+    """Effect of CCD loop closure on proposal validity (Section III.C)."""
+
+    experiment_id = "ablation_ccd"
+    title = "Loop-closure ablation: proposals with and without CCD"
+    paper_reference = "Section III.C (loop closure condition)"
+
+    target_name = "1cex(40:51)"
+
+    scale_configs: Mapping[Scale, SamplingConfig] = {
+        "smoke": SamplingConfig(population_size=64, n_complexes=4, iterations=2),
+        "default": SamplingConfig(population_size=256, n_complexes=8, iterations=2),
+        "paper": SamplingConfig(population_size=15360, n_complexes=120, iterations=2),
+    }
+
+    def execute(self, scale: Scale) -> ExperimentResult:
+        config = self.config_for_scale(scale)
+        target = get_target(self.target_name)
+        rng = spawn_rng(self.seed, 7)
+        model = RamachandranModel()
+        torsions = model.sample_population(
+            target.sequence, config.population_size, rng
+        )
+
+        # Without closure: build the raw proposals and measure the anchor gap.
+        _coords, raw_closure = target.build_batch(torsions)
+        raw_errors = target.closure_error_batch(raw_closure)
+
+        # With closure: run the batched CCD kernel on the same proposals.
+        ccd = ccd_close_batch(
+            torsions,
+            target,
+            max_iterations=config.ccd_iterations,
+            tolerance=config.ccd_tolerance,
+        )
+        closed_errors = ccd.closure_error
+
+        table = TextTable(
+            headers=[
+                "pipeline",
+                "mean closure error (A)",
+                "max closure error (A)",
+                "% closed (< tolerance)",
+            ],
+            title=f"Closure error with and without CCD on {target.name} "
+            f"(population {config.population_size})",
+            float_digits=2,
+        )
+        tolerance = config.ccd_tolerance
+        table.add_row(
+            "raw proposals (no CCD)",
+            float(raw_errors.mean()),
+            float(raw_errors.max()),
+            100.0 * float(np.mean(raw_errors <= tolerance)),
+        )
+        table.add_row(
+            "after CCD closure",
+            float(closed_errors.mean()),
+            float(closed_errors.max()),
+            100.0 * float(np.mean(closed_errors <= tolerance)),
+        )
+
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_reference=self.paper_reference,
+            scale=scale,
+            tables=[table],
+            data={
+                "raw_mean_error": float(raw_errors.mean()),
+                "closed_mean_error": float(closed_errors.mean()),
+                "raw_closed_fraction": float(np.mean(raw_errors <= tolerance)),
+                "ccd_closed_fraction": float(np.mean(closed_errors <= tolerance)),
+                "tolerance": tolerance,
+                "mean_ccd_sweeps": float(np.mean(ccd.iterations)),
+            },
+        )
+        result.notes.append(
+            "without CCD almost no randomly proposed conformation satisfies the "
+            "loop-closure condition; with CCD the overwhelming majority do."
+        )
+        return result
+
+
+@register_experiment
+class BatchKernelAblationExperiment(Experiment):
+    """Per-kernel cost of scalar vs population-batched evaluation (Section IV.B)."""
+
+    experiment_id = "ablation_batch_kernels"
+    title = "Scalar vs batched kernel evaluation cost"
+    paper_reference = "Section IV.B (rationale for migrating CCD/scoring to the GPU)"
+
+    target_name = "1cex(40:51)"
+
+    scale_configs: Mapping[Scale, SamplingConfig] = {
+        "smoke": SamplingConfig(population_size=64, n_complexes=4, iterations=1),
+        "default": SamplingConfig(population_size=192, n_complexes=8, iterations=1),
+        "paper": SamplingConfig(population_size=15360, n_complexes=120, iterations=1),
+    }
+
+    def execute(self, scale: Scale) -> ExperimentResult:
+        config = self.config_for_scale(scale)
+        target = get_target(self.target_name)
+        multi_score = default_multi_score(target)
+        rng = spawn_rng(self.seed, 11)
+        model = RamachandranModel()
+        torsions = model.sample_population(
+            target.sequence, config.population_size, rng
+        )
+
+        table = TextTable(
+            headers=["kernel", "scalar time", "batched time", "batched speedup"],
+            title=f"Kernel evaluation cost on {target.name} "
+            f"(population {config.population_size})",
+            float_digits=2,
+        )
+        data = {}
+
+        # CCD: scalar loop vs batched kernel.
+        from repro.closure.ccd import ccd_close
+
+        start = time.perf_counter()
+        for i in range(config.population_size):
+            ccd_close(
+                torsions[i],
+                target,
+                max_iterations=config.ccd_iterations,
+                tolerance=config.ccd_tolerance,
+            )
+        scalar_ccd = time.perf_counter() - start
+        start = time.perf_counter()
+        ccd = ccd_close_batch(
+            torsions,
+            target,
+            max_iterations=config.ccd_iterations,
+            tolerance=config.ccd_tolerance,
+        )
+        batched_ccd = time.perf_counter() - start
+        table.add_row(
+            "[CCD]",
+            format_seconds(scalar_ccd),
+            format_seconds(batched_ccd),
+            scalar_ccd / batched_ccd if batched_ccd > 0 else float("inf"),
+        )
+        data["CCD"] = {"scalar": scalar_ccd, "batched": batched_ccd}
+
+        # Scoring kernels: scalar loops vs batched evaluation.
+        coords = ccd.coords
+        closed = ccd.torsions
+        for fn in multi_score:
+            start = time.perf_counter()
+            for i in range(config.population_size):
+                fn.evaluate(coords[i], closed[i])
+            scalar_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            fn.evaluate_batch(coords, closed)
+            batched_seconds = time.perf_counter() - start
+            table.add_row(
+                f"[{fn.kernel_name}]",
+                format_seconds(scalar_seconds),
+                format_seconds(batched_seconds),
+                scalar_seconds / batched_seconds
+                if batched_seconds > 0
+                else float("inf"),
+            )
+            data[fn.kernel_name] = {
+                "scalar": scalar_seconds,
+                "batched": batched_seconds,
+            }
+
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_reference=self.paper_reference,
+            scale=scale,
+            tables=[table],
+            data=data,
+        )
+        result.notes.append(
+            "batched (SIMT-style) evaluation amortises per-call overhead across "
+            "the population, which is why the paper migrates exactly these "
+            "kernels to the GPU."
+        )
+        return result

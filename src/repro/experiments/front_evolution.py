@@ -1,0 +1,154 @@
+"""Experiment FIG5 — evolution of the non-dominated set during sampling.
+
+Figure 5 of the paper snapshots the non-dominated conformations of a
+5pti(7:17) run at initialisation, after 20 iterations and after 100
+iterations, plotting their normalised scores coloured by RMSD.  The
+qualitative findings:
+
+* the non-dominated set grows as sampling proceeds (7 -> 19 -> 63 members in
+  the paper),
+* scores of the non-dominated conformations decrease,
+* low-RMSD (native-like) conformations only appear late, and they are found
+  at *compromises* of the three scoring functions rather than at the
+  minimum of any single one.
+
+This driver runs one trajectory with snapshot recording enabled and reports
+those quantities per snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.pareto import front_statistics
+from repro.analysis.reporting import TextTable
+from repro.config import SamplingConfig
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    Scale,
+    register_experiment,
+)
+from repro.loops.targets import get_target
+from repro.moscem.sampler import MOSCEMSampler
+
+__all__ = ["FrontEvolutionExperiment"]
+
+
+@register_experiment
+class FrontEvolutionExperiment(Experiment):
+    """Reproduce Fig. 5: how the Pareto front fills in during sampling."""
+
+    experiment_id = "fig5"
+    title = "Evolution of the non-dominated conformations during sampling"
+    paper_reference = "Figure 5 (5pti(7:17); snapshots at 0, 20 and 100 iterations)"
+
+    target_name = "5pti(7:17)"
+
+    scale_configs: Mapping[Scale, SamplingConfig] = {
+        "smoke": SamplingConfig(population_size=128, n_complexes=8, iterations=20),
+        "default": SamplingConfig(population_size=256, n_complexes=8, iterations=25),
+        "paper": SamplingConfig(population_size=15360, n_complexes=120, iterations=100),
+    }
+
+    #: Snapshot iterations per scale (0 = right after initialisation).
+    scale_snapshots: Mapping[Scale, Sequence[int]] = {
+        "smoke": (0, 5, 20),
+        "default": (0, 5, 25),
+        "paper": (0, 20, 100),
+    }
+
+    def snapshots_for_scale(self, scale: Scale) -> Sequence[int]:
+        """The snapshot iterations of a scale preset."""
+        if scale not in self.scale_snapshots:
+            raise KeyError(f"{self.experiment_id} has no scale {scale!r}")
+        return self.scale_snapshots[scale]
+
+    def execute(self, scale: Scale) -> ExperimentResult:
+        config = self.config_for_scale(scale)
+        snapshot_iterations = self.snapshots_for_scale(scale)
+        target = get_target(self.target_name)
+        sampler = MOSCEMSampler(target, config=config, backend_kind="gpu")
+        run = sampler.run(snapshot_iterations=snapshot_iterations)
+
+        table = TextTable(
+            headers=[
+                "iteration",
+                "# non-dominated",
+                "best RMSD (A)",
+                "mean RMSD (A)",
+                "front spread",
+                "mean normalised score",
+            ],
+            title=f"Non-dominated set evolution on {target.name} "
+            f"(population {config.population_size})",
+            float_digits=2,
+        )
+
+        snapshots = run.recorder.by_iteration()
+        counts: List[int] = []
+        best_rmsds: List[float] = []
+        mean_norm_scores: List[float] = []
+        for iteration in snapshot_iterations:
+            snap = snapshots.get(int(iteration))
+            if snap is None:
+                continue
+            stats = front_statistics(snap.scores, snap.rmsd) if snap.scores.size else None
+            mean_norm = (
+                float(np.mean(snap.normalized_scores))
+                if np.size(snap.normalized_scores)
+                else float("nan")
+            )
+            counts.append(snap.n_non_dominated)
+            best_rmsds.append(snap.best_rmsd)
+            mean_norm_scores.append(mean_norm)
+            table.add_row(
+                snap.iteration,
+                snap.n_non_dominated,
+                snap.best_rmsd,
+                float(snap.rmsd.mean()) if snap.rmsd.size else float("nan"),
+                stats.spread if stats is not None else 0.0,
+                mean_norm,
+            )
+
+        comparison = TextTable(
+            headers=["quantity", "paper", "measured"],
+            title="Headline comparison with Figure 5",
+            float_digits=2,
+        )
+        comparison.add_row(
+            "non-dominated count grows with iterations",
+            "7 -> 19 -> 63",
+            " -> ".join(str(c) for c in counts),
+        )
+        comparison.add_row(
+            "best front RMSD improves over the run",
+            "> 2.0A at init, < 0.5A at 100 iterations",
+            f"{best_rmsds[0]:.2f}A -> {best_rmsds[-1]:.2f}A" if best_rmsds else "n/a",
+        )
+
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_reference=self.paper_reference,
+            scale=scale,
+            tables=[table, comparison],
+            data={
+                "snapshot_iterations": list(snapshot_iterations),
+                "non_dominated_counts": counts,
+                "best_rmsds": best_rmsds,
+                "mean_normalized_scores": mean_norm_scores,
+                "final_front_size": run.n_non_dominated(),
+            },
+        )
+        result.notes.append(
+            "paper shape to check: the non-dominated set grows and its best RMSD "
+            "improves as the sampling trajectory proceeds."
+        )
+        if scale != "paper":
+            result.notes.append(
+                "iteration counts scaled down; snapshots taken at proportional points."
+            )
+        return result

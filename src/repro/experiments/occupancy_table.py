@@ -1,0 +1,107 @@
+"""Experiment TAB3 — registers per thread and multiprocessor occupancy.
+
+Table III of the paper lists, for every kernel, the registers per thread
+reported by the CUDA compiler (with a 32-register limit) and the resulting
+multiprocessor occupancy on the GTX 280: 32 registers -> 50%, 20 registers
+-> 75%, 8 or fewer registers -> 100% (with 128-thread blocks and no shared
+memory).
+
+This is a static experiment: it does not run the sampler at all.  It feeds
+the kernel metadata (:data:`repro.simt.kernel.PAPER_KERNELS`) through the
+compute-capability 1.3 occupancy model and compares the result with the
+paper row by row.  All scales produce the same numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.analysis.reporting import TextTable
+from repro.config import SamplingConfig
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    Scale,
+    register_experiment,
+)
+from repro.simt.device import GTX280
+from repro.simt.kernel import PAPER_KERNELS
+from repro.simt.occupancy import occupancy
+
+__all__ = ["OccupancyTableExperiment", "PAPER_TABLE3"]
+
+#: The paper's Table III: kernel -> (registers per thread, occupancy).
+PAPER_TABLE3: Dict[str, tuple] = {
+    "[CCD]": (32, 0.50),
+    "[EvalDIST]": (32, 0.50),
+    "[EvalVDW]": (32, 0.50),
+    "[FitAssg] within Population": (8, 1.00),
+    "[EvalTRIP]": (20, 0.75),
+    "[FitAssg] within Complex": (5, 1.00),
+}
+
+
+@register_experiment
+class OccupancyTableExperiment(Experiment):
+    """Reproduce Table III from the kernel metadata and the occupancy model."""
+
+    experiment_id = "table3"
+    title = "Registers per thread and multiprocessor occupancy"
+    paper_reference = "Table III (kernel register usage and occupancy, GTX 280)"
+
+    scale_configs: Mapping[Scale, SamplingConfig] = {
+        "smoke": SamplingConfig(),
+        "default": SamplingConfig(),
+        "paper": SamplingConfig(),
+    }
+
+    def execute(self, scale: Scale) -> ExperimentResult:
+        table = TextTable(
+            headers=[
+                "kernel",
+                "registers/thread",
+                "occupancy",
+                "paper occupancy",
+                "limited by",
+            ],
+            title=f"Occupancy on {GTX280.name} (128-thread blocks, no shared memory)",
+            float_digits=2,
+        )
+        occupancies: Dict[str, float] = {}
+        registers: Dict[str, int] = {}
+        matches = True
+        for spec in PAPER_KERNELS.values():
+            result = occupancy(spec, GTX280)
+            occupancies[spec.name] = result.occupancy
+            registers[spec.name] = spec.registers_per_thread
+            paper_registers, paper_occupancy = PAPER_TABLE3[spec.name]
+            if spec.registers_per_thread != paper_registers:
+                matches = False
+            if abs(result.occupancy - paper_occupancy) > 1e-9:
+                matches = False
+            table.add_row(
+                spec.name,
+                spec.registers_per_thread,
+                result.occupancy,
+                paper_occupancy,
+                result.limited_by,
+            )
+
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_reference=self.paper_reference,
+            scale=scale,
+            tables=[table],
+            data={
+                "occupancies": occupancies,
+                "registers_per_thread": registers,
+                "matches_paper": matches,
+                "device": GTX280.name,
+            },
+        )
+        result.notes.append(
+            "static experiment: the occupancy model reproduces the paper's "
+            "numbers exactly because register counts and device limits are known."
+        )
+        return result

@@ -1,0 +1,62 @@
+"""Backbone geometry: dihedrals, rotations, NeRF chain building and RMSD.
+
+All public functions exist in two flavours wherever the sampler needs them:
+
+* a *scalar* version operating on a single conformation, used by the
+  reference CPU backend (mirroring the paper's per-conformation CPU code),
+* a *batched* version operating on the whole population at once with the
+  population axis first, used by the simulated-GPU backend (mirroring the
+  paper's one-thread-per-conformation SIMT kernels).
+"""
+
+from repro.geometry.vectors import (
+    angle_between,
+    dihedral_angle,
+    dihedral_angles_batch,
+    normalize,
+    wrap_angle,
+)
+from repro.geometry.rotation import (
+    axis_angle_matrix,
+    axis_angle_matrices_batch,
+    random_rotation_matrix,
+    rotate_about_axis,
+)
+from repro.geometry.nerf import (
+    place_atom,
+    place_atoms_batch,
+    build_backbone,
+    build_backbone_batch,
+)
+from repro.geometry.internal import (
+    backbone_torsions,
+    backbone_torsions_batch,
+)
+from repro.geometry.rmsd import (
+    coordinate_rmsd,
+    coordinate_rmsd_batch,
+    kabsch_rotation,
+    superposed_rmsd,
+)
+
+__all__ = [
+    "angle_between",
+    "dihedral_angle",
+    "dihedral_angles_batch",
+    "normalize",
+    "wrap_angle",
+    "axis_angle_matrix",
+    "axis_angle_matrices_batch",
+    "random_rotation_matrix",
+    "rotate_about_axis",
+    "place_atom",
+    "place_atoms_batch",
+    "build_backbone",
+    "build_backbone_batch",
+    "backbone_torsions",
+    "backbone_torsions_batch",
+    "coordinate_rmsd",
+    "coordinate_rmsd_batch",
+    "kabsch_rotation",
+    "superposed_rmsd",
+]

@@ -1,0 +1,98 @@
+"""Cartesian-to-internal coordinate extraction (phi/psi torsions).
+
+The inverse of :mod:`repro.geometry.nerf`: given built backbone coordinates
+(plus the fixed anchors), recover the torsion vector.  Used by tests to
+verify the round trip and by the synthetic benchmark generator to record the
+native torsions of each target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import dihedral_angle, dihedral_angles_batch
+
+__all__ = ["backbone_torsions", "backbone_torsions_batch"]
+
+
+def backbone_torsions(
+    coords: np.ndarray,
+    n_anchor: np.ndarray,
+    closure: np.ndarray,
+) -> np.ndarray:
+    """Recover ``(phi_1, psi_1, ..., phi_n, psi_n)`` from built coordinates.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 4, 3)`` loop backbone coordinates (N, CA, C, O per residue).
+    n_anchor:
+        ``(3, 3)`` fixed ``C_prev``, ``N_1``, ``CA_1`` coordinates.
+    closure:
+        ``(3, 3)`` closure-atom coordinates (``N_{n+1}``, ``CA_{n+1}``,
+        ``C_{n+1}``) — only the first row (the next nitrogen) is needed, for
+        ``psi_n``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n_anchor = np.asarray(n_anchor, dtype=np.float64)
+    closure = np.asarray(closure, dtype=np.float64)
+    n = coords.shape[0]
+
+    torsions = np.zeros(2 * n, dtype=np.float64)
+    prev_c = n_anchor[0]
+    for i in range(n):
+        n_i, ca_i, c_i = coords[i, 0], coords[i, 1], coords[i, 2]
+        next_n = coords[i + 1, 0] if i + 1 < n else closure[0]
+        torsions[2 * i] = dihedral_angle(prev_c, n_i, ca_i, c_i)
+        torsions[2 * i + 1] = dihedral_angle(n_i, ca_i, c_i, next_n)
+        prev_c = c_i
+    return torsions
+
+
+def backbone_torsions_batch(
+    coords: np.ndarray,
+    n_anchor: np.ndarray,
+    closure: np.ndarray,
+) -> np.ndarray:
+    """Batched version of :func:`backbone_torsions`.
+
+    Parameters
+    ----------
+    coords:
+        ``(P, n, 4, 3)`` population backbone coordinates.
+    n_anchor:
+        ``(3, 3)`` shared anchor coordinates.
+    closure:
+        ``(P, 3, 3)`` per-member closure atoms.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(P, 2n)`` torsion matrix.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n_anchor = np.asarray(n_anchor, dtype=np.float64)
+    closure = np.asarray(closure, dtype=np.float64)
+    pop, n = coords.shape[0], coords.shape[1]
+
+    # Previous carbonyl carbon per residue: anchor C_prev for residue 1,
+    # then C_{i-1} for i >= 2.
+    prev_c = np.concatenate(
+        [np.broadcast_to(n_anchor[0], (pop, 1, 3)), coords[:, :-1, 2, :]], axis=1
+    )  # (P, n, 3)
+    # Following nitrogen per residue: N_{i+1} for i < n, closure N for i = n.
+    next_n = np.concatenate(
+        [coords[:, 1:, 0, :], closure[:, None, 0, :]], axis=1
+    )  # (P, n, 3)
+
+    n_atoms = coords[:, :, 0, :]
+    ca_atoms = coords[:, :, 1, :]
+    c_atoms = coords[:, :, 2, :]
+
+    phi = dihedral_angles_batch(prev_c, n_atoms, ca_atoms, c_atoms)  # (P, n)
+    psi = dihedral_angles_batch(n_atoms, ca_atoms, c_atoms, next_n)  # (P, n)
+
+    torsions = np.empty((pop, 2 * n), dtype=np.float64)
+    torsions[:, 0::2] = phi
+    torsions[:, 1::2] = psi
+    return torsions

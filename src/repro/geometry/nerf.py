@@ -1,0 +1,303 @@
+"""NeRF (Natural Extension Reference Frame) backbone construction.
+
+Loop conformations are represented by their backbone torsion angles
+(phi_i, psi_i); the omega torsions are fixed at 180 degrees and bond
+lengths/angles are ideal (Section III.A of the paper).  This module converts
+a torsion vector into Cartesian backbone coordinates given the fixed
+N-terminal anchor atoms, in both a scalar and a population-batched form.
+
+Chain-building convention
+-------------------------
+The N-terminal anchor supplies three fixed atoms: the carbonyl carbon of the
+residue preceding the loop (``C_prev``) and the ``N`` and ``CA`` atoms of the
+first loop residue.  The torsion vector ``(phi_1, psi_1, ..., phi_n, psi_n)``
+then determines, in order:
+
+* ``C_i``  from ``phi_i``,
+* ``O_i``  from ``psi_i`` (anti-planar to the following nitrogen),
+* ``N_{i+1}`` from ``psi_i``,
+* ``CA_{i+1}`` from the fixed omega torsion,
+
+and finally the three *closure atoms* ``N_{n+1}, CA_{n+1}, C_{n+1}`` — the
+moving copies of the C-terminal anchor backbone, which CCD tries to
+superimpose onto their fixed target positions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.geometry.vectors import normalize
+
+__all__ = [
+    "place_atom",
+    "place_atoms_batch",
+    "build_backbone",
+    "build_backbone_batch",
+    "loop_atom_count",
+]
+
+_EPS = 1e-12
+
+
+def place_atom(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    bond_length: float,
+    bond_angle: float,
+    torsion: float,
+) -> np.ndarray:
+    """Place atom D such that |C-D| = ``bond_length``, angle(B,C,D) =
+    ``bond_angle`` and dihedral(A,B,C,D) = ``torsion``.
+
+    This is the scalar NeRF step used by the reference CPU backend.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+
+    bc = c - b
+    bc /= max(np.linalg.norm(bc), _EPS)
+    ab = b - a
+    n = np.cross(ab, bc)
+    n /= max(np.linalg.norm(n), _EPS)
+    m = np.cross(n, bc)
+
+    # The sign of the out-of-plane component is chosen so that the dihedral
+    # measured by :func:`repro.geometry.vectors.dihedral_angle` on the placed
+    # atom equals ``torsion`` exactly (round-trip property).
+    d_local = np.array(
+        [
+            -bond_length * np.cos(bond_angle),
+            bond_length * np.sin(bond_angle) * np.cos(torsion),
+            -bond_length * np.sin(bond_angle) * np.sin(torsion),
+        ]
+    )
+    return c + d_local[0] * bc + d_local[1] * m + d_local[2] * n
+
+
+def place_atoms_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    bond_length: float,
+    bond_angle: float,
+    torsions: np.ndarray,
+) -> np.ndarray:
+    """Vectorised NeRF placement: one atom per population member.
+
+    Parameters
+    ----------
+    a, b, c:
+        Arrays of shape ``(P, 3)`` holding the three reference atoms of each
+        population member.
+    bond_length, bond_angle:
+        Scalars (ideal geometry shared by the whole population).
+    torsions:
+        Array of shape ``(P,)`` of per-member torsion angles.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(P, 3)`` coordinates of the newly placed atoms.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    torsions = np.asarray(torsions, dtype=np.float64)
+
+    bc = normalize(c - b)
+    ab = b - a
+    n = normalize(np.cross(ab, bc))
+    m = np.cross(n, bc)
+
+    sin_t = np.sin(bond_angle)
+    d0 = -bond_length * np.cos(bond_angle)
+    d1 = bond_length * sin_t * np.cos(torsions)
+    d2 = -bond_length * sin_t * np.sin(torsions)
+    return c + d0 * bc + d1[:, None] * m + d2[:, None] * n
+
+
+def loop_atom_count(n_residues: int) -> int:
+    """Number of backbone atoms built for an ``n_residues`` loop (N,CA,C,O each)."""
+    return constants.BACKBONE_ATOMS_PER_RESIDUE * n_residues
+
+
+def build_backbone(
+    torsions: np.ndarray,
+    n_anchor: np.ndarray,
+    end_phi: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build loop backbone coordinates from a torsion vector (scalar version).
+
+    Parameters
+    ----------
+    torsions:
+        Shape ``(2n,)`` vector ``(phi_1, psi_1, ..., phi_n, psi_n)`` in radians.
+    n_anchor:
+        Shape ``(3, 3)`` fixed coordinates of ``C_prev``, ``N_1`` and ``CA_1``.
+    end_phi:
+        The (fixed) phi torsion of the first C-terminal anchor residue, used
+        to place the third closure atom ``C_{n+1}``.
+
+    Returns
+    -------
+    (coords, closure)
+        ``coords`` has shape ``(n, 4, 3)`` with atoms ordered N, CA, C, O per
+        residue; ``closure`` has shape ``(3, 3)`` holding the built positions
+        of ``N_{n+1}``, ``CA_{n+1}``, ``C_{n+1}``.
+    """
+    torsions = np.asarray(torsions, dtype=np.float64)
+    if torsions.ndim != 1 or torsions.size % 2 != 0:
+        raise ValueError("torsions must be a flat vector of 2n angles")
+    n = torsions.size // 2
+    if n < 1:
+        raise ValueError("the loop must contain at least one residue")
+    n_anchor = np.asarray(n_anchor, dtype=np.float64)
+    if n_anchor.shape != (3, 3):
+        raise ValueError("n_anchor must have shape (3, 3): C_prev, N_1, CA_1")
+
+    coords = np.zeros((n, constants.BACKBONE_ATOMS_PER_RESIDUE, 3), dtype=np.float64)
+    c_prev = n_anchor[0]
+    coords[0, 0] = n_anchor[1]  # N_1
+    coords[0, 1] = n_anchor[2]  # CA_1
+
+    prev_c = c_prev  # carbonyl C of the residue before residue i
+    for i in range(n):
+        phi = torsions[2 * i]
+        psi = torsions[2 * i + 1]
+        n_i = coords[i, 0]
+        ca_i = coords[i, 1]
+
+        # C_i from phi_i: dihedral(C_{i-1}, N_i, CA_i, C_i)
+        c_i = place_atom(
+            prev_c, n_i, ca_i,
+            constants.BOND_CA_C, constants.ANGLE_N_CA_C, phi,
+        )
+        coords[i, 2] = c_i
+
+        # O_i from psi_i: anti-planar to the next nitrogen.
+        coords[i, 3] = place_atom(
+            n_i, ca_i, c_i,
+            constants.BOND_C_O, constants.ANGLE_CA_C_O, psi + np.pi,
+        )
+
+        # N_{i+1} from psi_i: dihedral(N_i, CA_i, C_i, N_{i+1})
+        n_next = place_atom(
+            n_i, ca_i, c_i,
+            constants.BOND_C_N, constants.ANGLE_CA_C_N, psi,
+        )
+        # CA_{i+1} from omega (fixed trans): dihedral(CA_i, C_i, N_{i+1}, CA_{i+1})
+        ca_next = place_atom(
+            ca_i, c_i, n_next,
+            constants.BOND_N_CA, constants.ANGLE_C_N_CA, constants.OMEGA_TRANS,
+        )
+        if i + 1 < n:
+            coords[i + 1, 0] = n_next
+            coords[i + 1, 1] = ca_next
+        else:
+            # Closure atoms: moving copy of the C-terminal anchor backbone.
+            c_end = place_atom(
+                c_i, n_next, ca_next,
+                constants.BOND_CA_C, constants.ANGLE_N_CA_C, end_phi,
+            )
+            closure = np.stack([n_next, ca_next, c_end])
+        prev_c = c_i
+
+    return coords, closure
+
+
+def build_backbone_batch(
+    torsions: np.ndarray,
+    n_anchor: np.ndarray,
+    end_phi: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Population-batched backbone construction.
+
+    This is the simulated-GPU analogue of :func:`build_backbone`: the chain
+    is still built atom by atom along the loop (the dependency is inherent),
+    but each step places the corresponding atom of *every* population member
+    in one vectorised operation — one "thread" per conformation, exactly the
+    SIMT work decomposition of the paper.
+
+    Parameters
+    ----------
+    torsions:
+        Shape ``(P, 2n)`` population torsion matrix.
+    n_anchor:
+        Shape ``(3, 3)`` fixed anchor coordinates, shared by all members.
+    end_phi:
+        Fixed phi torsion of the first C-terminal anchor residue.
+
+    Returns
+    -------
+    (coords, closure)
+        ``coords`` has shape ``(P, n, 4, 3)``; ``closure`` has shape
+        ``(P, 3, 3)``.
+    """
+    torsions = np.asarray(torsions, dtype=np.float64)
+    if torsions.ndim != 2 or torsions.shape[1] % 2 != 0:
+        raise ValueError("torsions must have shape (P, 2n)")
+    pop, two_n = torsions.shape
+    n = two_n // 2
+    if n < 1:
+        raise ValueError("the loop must contain at least one residue")
+    n_anchor = np.asarray(n_anchor, dtype=np.float64)
+    if n_anchor.shape != (3, 3):
+        raise ValueError("n_anchor must have shape (3, 3): C_prev, N_1, CA_1")
+
+    coords = np.zeros(
+        (pop, n, constants.BACKBONE_ATOMS_PER_RESIDUE, 3), dtype=np.float64
+    )
+    closure = np.zeros((pop, 3, 3), dtype=np.float64)
+
+    c_prev = np.broadcast_to(n_anchor[0], (pop, 3)).copy()
+    coords[:, 0, 0] = n_anchor[1]
+    coords[:, 0, 1] = n_anchor[2]
+
+    prev_c = c_prev
+    for i in range(n):
+        phi = torsions[:, 2 * i]
+        psi = torsions[:, 2 * i + 1]
+        n_i = coords[:, i, 0]
+        ca_i = coords[:, i, 1]
+
+        c_i = place_atoms_batch(
+            prev_c, n_i, ca_i,
+            constants.BOND_CA_C, constants.ANGLE_N_CA_C, phi,
+        )
+        coords[:, i, 2] = c_i
+
+        coords[:, i, 3] = place_atoms_batch(
+            n_i, ca_i, c_i,
+            constants.BOND_C_O, constants.ANGLE_CA_C_O, psi + np.pi,
+        )
+
+        n_next = place_atoms_batch(
+            n_i, ca_i, c_i,
+            constants.BOND_C_N, constants.ANGLE_CA_C_N, psi,
+        )
+        ca_next = place_atoms_batch(
+            ca_i, c_i, n_next,
+            constants.BOND_N_CA, constants.ANGLE_C_N_CA,
+            np.full(pop, constants.OMEGA_TRANS),
+        )
+        if i + 1 < n:
+            coords[:, i + 1, 0] = n_next
+            coords[:, i + 1, 1] = ca_next
+        else:
+            c_end = place_atoms_batch(
+                c_i, n_next, ca_next,
+                constants.BOND_CA_C, constants.ANGLE_N_CA_C,
+                np.full(pop, end_phi),
+            )
+            closure[:, 0] = n_next
+            closure[:, 1] = ca_next
+            closure[:, 2] = c_end
+        prev_c = c_i
+
+    return coords, closure

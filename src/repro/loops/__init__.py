@@ -1,0 +1,39 @@
+"""Loop definitions, the synthetic loop library and the benchmark targets.
+
+The paper evaluates on the 53 long-loop (>= 10 residues) targets of the
+Jacobson loop-decoy benchmark and derives its knowledge-based potentials
+from a large loop library.  Neither dataset ships with this reproduction,
+so both are generated synthetically (see DESIGN.md, Section 2) with
+deterministic seeds; the benchmark registry keeps the same target count,
+length distribution and named hard/easy cases as the paper.
+"""
+
+from repro.loops.loop import LoopTarget, canonical_n_anchor
+from repro.loops.ramachandran import (
+    RamachandranModel,
+    sample_basin,
+    sample_loop_torsions,
+)
+from repro.loops.library import LoopLibrary, LoopRecord
+from repro.loops.targets import (
+    BenchmarkTarget,
+    benchmark_registry,
+    get_target,
+    make_target,
+    paper_named_targets,
+)
+
+__all__ = [
+    "LoopTarget",
+    "canonical_n_anchor",
+    "RamachandranModel",
+    "sample_basin",
+    "sample_loop_torsions",
+    "LoopLibrary",
+    "LoopRecord",
+    "BenchmarkTarget",
+    "benchmark_registry",
+    "get_target",
+    "make_target",
+    "paper_named_targets",
+]

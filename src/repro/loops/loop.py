@@ -1,0 +1,202 @@
+"""Loop target definition: the fixed context within which a loop is rebuilt.
+
+A :class:`LoopTarget` packages everything the sampler and the scoring
+functions need about one loop-modelling problem:
+
+* the loop sequence and length,
+* the fixed N-terminal anchor atoms (``C_prev``, ``N_1``, ``CA_1``),
+* the fixed C-terminal anchor atoms (``N_{n+1}``, ``CA_{n+1}``, ``C_{n+1}``)
+  that the rebuilt loop must reach (the loop-closure condition),
+* the native loop conformation (for RMSD evaluation),
+* the surrounding protein environment as an excluded-volume point cloud
+  (for the soft-sphere VDW score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.geometry.nerf import build_backbone, build_backbone_batch
+from repro.geometry.rmsd import coordinate_rmsd, coordinate_rmsd_batch
+from repro.protein.residue import Residue, validate_sequence
+
+__all__ = ["LoopTarget", "canonical_n_anchor"]
+
+
+def canonical_n_anchor() -> np.ndarray:
+    """The canonical N-terminal anchor frame used by synthetic targets.
+
+    ``C_prev`` sits at the origin, ``N_1`` along +x at the peptide-bond
+    length, and ``CA_1`` placed with the ideal C-N-CA angle, tilted slightly
+    out of the xy-plane so that the frame is non-degenerate.
+    """
+    c_prev = np.zeros(3)
+    n1 = np.array([constants.BOND_C_N, 0.0, 0.0])
+    direction = np.array(
+        [-np.cos(constants.ANGLE_C_N_CA), np.sin(constants.ANGLE_C_N_CA), 0.35]
+    )
+    direction = direction / np.linalg.norm(direction)
+    ca1 = n1 + constants.BOND_N_CA * direction
+    return np.stack([c_prev, n1, ca1])
+
+
+@dataclass
+class LoopTarget:
+    """One loop-modelling problem instance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"1cex(40:51)"``.
+    pdb_id:
+        Four-character parent-protein identifier.
+    start_res / end_res:
+        Residue numbers of the loop within the parent protein (inclusive),
+        following the paper's ``pdb(start:end)`` notation.
+    sequence:
+        One-letter loop sequence (length ``n``).
+    n_anchor:
+        ``(3, 3)`` fixed coordinates of ``C_prev``, ``N_1``, ``CA_1``.
+    c_anchor:
+        ``(3, 3)`` fixed coordinates of ``N_{n+1}``, ``CA_{n+1}``, ``C_{n+1}``
+        — the closure targets.
+    end_phi:
+        Fixed phi torsion of the first C-terminal anchor residue.
+    native_torsions:
+        ``(2n,)`` native torsion vector (radians).
+    native_coords:
+        ``(n, 4, 3)`` native loop backbone coordinates.
+    environment_coords / environment_radii:
+        ``(M, 3)`` / ``(M,)`` excluded-volume atoms of the rest of the protein.
+    buried:
+        Whether the loop is deeply buried (dense environment); the paper's
+        single failure case, 1xyz(813:824), is of this kind.
+    """
+
+    name: str
+    pdb_id: str
+    start_res: int
+    end_res: int
+    sequence: str
+    n_anchor: np.ndarray
+    c_anchor: np.ndarray
+    end_phi: float
+    native_torsions: np.ndarray
+    native_coords: np.ndarray
+    environment_coords: np.ndarray
+    environment_radii: np.ndarray
+    buried: bool = False
+
+    def __post_init__(self) -> None:
+        self.sequence = validate_sequence(self.sequence)
+        n = len(self.sequence)
+        self.n_anchor = np.asarray(self.n_anchor, dtype=np.float64)
+        self.c_anchor = np.asarray(self.c_anchor, dtype=np.float64)
+        self.native_torsions = np.asarray(self.native_torsions, dtype=np.float64)
+        self.native_coords = np.asarray(self.native_coords, dtype=np.float64)
+        self.environment_coords = np.asarray(self.environment_coords, dtype=np.float64)
+        self.environment_radii = np.asarray(self.environment_radii, dtype=np.float64)
+
+        if self.n_anchor.shape != (3, 3):
+            raise ValueError("n_anchor must have shape (3, 3)")
+        if self.c_anchor.shape != (3, 3):
+            raise ValueError("c_anchor must have shape (3, 3)")
+        if self.native_torsions.shape != (2 * n,):
+            raise ValueError(
+                f"native_torsions must have shape ({2 * n},), got "
+                f"{self.native_torsions.shape}"
+            )
+        if self.native_coords.shape != (n, constants.BACKBONE_ATOMS_PER_RESIDUE, 3):
+            raise ValueError("native_coords shape mismatch with sequence length")
+        if self.environment_coords.ndim != 2 or self.environment_coords.shape[1] != 3:
+            raise ValueError("environment_coords must have shape (M, 3)")
+        if self.environment_radii.shape != (self.environment_coords.shape[0],):
+            raise ValueError("environment_radii must match environment_coords")
+        if self.end_res - self.start_res + 1 != n:
+            raise ValueError("start_res/end_res span does not match sequence length")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_residues(self) -> int:
+        """Loop length in residues."""
+        return len(self.sequence)
+
+    @property
+    def n_torsions(self) -> int:
+        """Number of sampled torsion angles (2 per residue)."""
+        return 2 * self.n_residues
+
+    @property
+    def residues(self) -> Tuple[Residue, ...]:
+        """Residue objects of the loop."""
+        return tuple(
+            Residue(index=self.start_res + i, aa=aa)
+            for i, aa in enumerate(self.sequence)
+        )
+
+    @property
+    def centroid_distances(self) -> np.ndarray:
+        """Per-residue CA-to-centroid distances (A)."""
+        return np.array([constants.CENTROID_DISTANCE[aa] for aa in self.sequence])
+
+    @property
+    def centroid_radii(self) -> np.ndarray:
+        """Per-residue side-chain centroid radii (A)."""
+        return np.array([constants.CENTROID_RADIUS[aa] for aa in self.sequence])
+
+    # ------------------------------------------------------------------
+    # Building and measuring conformations
+    # ------------------------------------------------------------------
+
+    def build(self, torsions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Build one conformation: ``(n, 4, 3)`` coords plus closure atoms."""
+        return build_backbone(torsions, self.n_anchor, self.end_phi)
+
+    def build_batch(self, torsions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Build a population: ``(P, n, 4, 3)`` coords plus ``(P, 3, 3)`` closure."""
+        return build_backbone_batch(torsions, self.n_anchor, self.end_phi)
+
+    def rmsd_to_native(self, coords: np.ndarray) -> float:
+        """Backbone RMSD (no superposition) of one conformation to the native."""
+        return coordinate_rmsd(coords, self.native_coords)
+
+    def rmsd_to_native_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Backbone RMSD of every population member to the native."""
+        return coordinate_rmsd_batch(coords, self.native_coords)
+
+    def closure_error(self, closure: np.ndarray) -> float:
+        """RMSD between built closure atoms and the fixed C-terminal anchor."""
+        return coordinate_rmsd(closure, self.c_anchor)
+
+    def closure_error_batch(self, closure: np.ndarray) -> np.ndarray:
+        """Batched closure error."""
+        return coordinate_rmsd_batch(closure, self.c_anchor)
+
+    def native_check(self, tolerance: float = 1e-6) -> bool:
+        """Verify that the stored native torsions rebuild the native loop.
+
+        Returns ``True`` when rebuilding the native torsion vector reproduces
+        both the native coordinates and the closure targets within
+        ``tolerance`` — i.e. the problem is self-consistent and a perfect
+        solution exists.
+        """
+        coords, closure = self.build(self.native_torsions)
+        return (
+            self.rmsd_to_native(coords) < tolerance
+            and self.closure_error(closure) < tolerance
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by the experiment drivers."""
+        return (
+            f"{self.name}: {self.n_residues} residues, "
+            f"{self.environment_coords.shape[0]} environment atoms"
+            f"{' (buried)' if self.buried else ''}"
+        )

@@ -1,0 +1,76 @@
+"""Complex partitioning and re-assembly.
+
+After fitness sorting, the paper deals the population into ``M`` complexes
+card-style::
+
+    C_1 = (L_1, L_{1+N/M}, L_{1+2N/M}, ...)
+    C_2 = (L_2, L_{2+N/M}, L_{2+2N/M}, ...)
+    ...
+
+so that every complex receives a representative spread of fitness values.
+Evolution then proceeds independently within each complex (which is what
+maps so naturally onto SIMT thread blocks), and the complexes are assembled
+back into a single population at the end of the iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["partition_population", "assemble_population", "complex_of_member"]
+
+
+def partition_population(population_size: int, n_complexes: int) -> List[np.ndarray]:
+    """Member indices of each complex for a *sorted* population.
+
+    Parameters
+    ----------
+    population_size:
+        Total number of members ``N`` (must be divisible by ``n_complexes``).
+    n_complexes:
+        Number of complexes ``M``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``M`` index arrays of length ``N / M``; complex ``k`` receives the
+        sorted members ``k, k + M, k + 2M, ...`` exactly as in the paper's
+        pseudocode (with 0-based indices).
+    """
+    if population_size <= 0 or n_complexes <= 0:
+        raise ValueError("population_size and n_complexes must be positive")
+    if population_size % n_complexes != 0:
+        raise ValueError(
+            f"population_size ({population_size}) must be divisible by "
+            f"n_complexes ({n_complexes})"
+        )
+    return [
+        np.arange(k, population_size, n_complexes, dtype=np.int64)
+        for k in range(n_complexes)
+    ]
+
+
+def assemble_population(complex_indices: List[np.ndarray], population_size: int) -> np.ndarray:
+    """Flatten complex index lists back into a full-population permutation.
+
+    The result is a permutation ``perm`` such that iterating complexes in
+    order and members within each complex visits ``perm`` — used to verify
+    that partition + assembly covers every member exactly once.
+    """
+    if not complex_indices:
+        raise ValueError("no complexes to assemble")
+    perm = np.concatenate(complex_indices)
+    if perm.shape[0] != population_size:
+        raise ValueError("assembled complexes do not cover the population")
+    if np.unique(perm).shape[0] != population_size:
+        raise ValueError("assembled complexes contain duplicate members")
+    return perm
+
+
+def complex_of_member(member_index: int, n_complexes: int) -> int:
+    """Which complex a sorted member index is dealt to."""
+    if member_index < 0:
+        raise ValueError("member_index must be non-negative")
+    return member_index % n_complexes

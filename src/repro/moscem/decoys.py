@@ -1,0 +1,133 @@
+"""Decoy sets with the paper's 30-degree distinctness rule.
+
+At the end of each sampling trajectory, the structurally *distinct*
+non-dominated conformations are added to the decoy set: a conformation is
+distinct when, for every decoy already kept, the maximum deviation of its
+torsion angles is at least 30 degrees.  Trajectories are repeated with new
+seeds until the decoy set reaches the requested size (1,000 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.geometry.vectors import angle_difference
+
+__all__ = ["Decoy", "DecoySet"]
+
+
+@dataclass(frozen=True)
+class Decoy:
+    """One decoy: torsions, coordinates, scores and RMSD to native."""
+
+    torsions: np.ndarray
+    coords: np.ndarray
+    scores: np.ndarray
+    rmsd: float
+    trajectory: int = 0
+
+    @property
+    def n_residues(self) -> int:
+        """Loop length of the decoy."""
+        return self.coords.shape[0]
+
+
+@dataclass
+class DecoySet:
+    """An accumulating set of structurally distinct decoys.
+
+    Parameters
+    ----------
+    distinctness_threshold:
+        Minimum value (radians) that the *maximum* torsion deviation from
+        every stored decoy must reach for a new conformation to count as
+        distinct; defaults to the paper's 30 degrees.
+    max_size:
+        Optional cap on the number of decoys kept.
+    """
+
+    distinctness_threshold: float = constants.DECOY_DISTINCTNESS_THRESHOLD
+    max_size: Optional[int] = None
+    decoys: List[Decoy] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.decoys)
+
+    def __iter__(self):
+        return iter(self.decoys)
+
+    def __getitem__(self, index: int) -> Decoy:
+        return self.decoys[index]
+
+    @property
+    def full(self) -> bool:
+        """Whether the decoy set reached its size cap."""
+        return self.max_size is not None and len(self.decoys) >= self.max_size
+
+    def is_distinct(self, torsions: np.ndarray) -> bool:
+        """Whether a torsion vector is distinct from every stored decoy."""
+        torsions = np.asarray(torsions, dtype=np.float64)
+        for decoy in self.decoys:
+            deviation = np.abs(angle_difference(torsions, decoy.torsions))
+            if float(np.max(deviation)) < self.distinctness_threshold:
+                return False
+        return True
+
+    def add(
+        self,
+        torsions: np.ndarray,
+        coords: np.ndarray,
+        scores: np.ndarray,
+        rmsd: float,
+        trajectory: int = 0,
+    ) -> bool:
+        """Add a conformation if it is distinct and the set is not full.
+
+        Returns True when the conformation was added.
+        """
+        if self.full:
+            return False
+        if not self.is_distinct(torsions):
+            return False
+        self.decoys.append(
+            Decoy(
+                torsions=np.asarray(torsions, dtype=np.float64).copy(),
+                coords=np.asarray(coords, dtype=np.float64).copy(),
+                scores=np.asarray(scores, dtype=np.float64).copy(),
+                rmsd=float(rmsd),
+                trajectory=trajectory,
+            )
+        )
+        return True
+
+    def rmsds(self) -> np.ndarray:
+        """RMSD of every decoy, in insertion order."""
+        return np.array([d.rmsd for d in self.decoys], dtype=np.float64)
+
+    def best_rmsd(self) -> float:
+        """Lowest RMSD in the set (inf when empty)."""
+        if not self.decoys:
+            return float("inf")
+        return float(self.rmsds().min())
+
+    def count_below(self, threshold: float) -> int:
+        """Number of decoys with RMSD below ``threshold`` Angstroms."""
+        if not self.decoys:
+            return 0
+        return int(np.sum(self.rmsds() < threshold))
+
+    def scores_matrix(self) -> np.ndarray:
+        """Scores of every decoy as a ``(D, K)`` matrix."""
+        if not self.decoys:
+            return np.zeros((0, 0))
+        return np.stack([d.scores for d in self.decoys])
+
+    def torsions_matrix(self) -> np.ndarray:
+        """Torsions of every decoy as a ``(D, 2n)`` matrix."""
+        if not self.decoys:
+            return np.zeros((0, 0))
+        return np.stack([d.torsions for d in self.decoys])

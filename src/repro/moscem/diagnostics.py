@@ -1,0 +1,178 @@
+"""MCMC convergence and equilibrium diagnostics for sampling trajectories.
+
+Section III.A of the paper notes that temperature annealing achieves fast
+barrier crossing and that "MCMC equilibrium analysis techniques can also be
+applied to study the convergence of the sampler", without reporting such an
+analysis.  This module provides that extension:
+
+* :func:`acceptance_trend` — linear trend of the per-iteration acceptance
+  rate (a stable, non-collapsing acceptance rate indicates the adaptive
+  temperature found its operating point);
+* :func:`temperature_stability` — how much the adaptive temperature is still
+  moving at the end of the run;
+* :func:`split_half_agreement` — a Gelman-Rubin-style potential scale
+  reduction factor computed on the best composite score of the first and
+  second halves of a set of independent trajectories;
+* :class:`ConvergenceReport` / :func:`diagnose` — bundle the above for one
+  or more :class:`~repro.moscem.sampler.SamplingResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.moscem.sampler import SamplingResult
+
+__all__ = [
+    "acceptance_trend",
+    "temperature_stability",
+    "split_half_agreement",
+    "ConvergenceReport",
+    "diagnose",
+]
+
+
+def acceptance_trend(acceptance_history: Sequence[float]) -> Tuple[float, float]:
+    """Mean acceptance rate and its per-iteration linear slope.
+
+    Parameters
+    ----------
+    acceptance_history:
+        Per-iteration acceptance rates of one trajectory.
+
+    Returns
+    -------
+    (mean, slope)
+        The mean acceptance rate and the least-squares slope per iteration.
+        A slope near zero means the chain is neither freezing (acceptance
+        collapsing to 0) nor boiling (rising towards 1).
+    """
+    rates = np.asarray(list(acceptance_history), dtype=np.float64)
+    if rates.size == 0:
+        raise ValueError("acceptance_history is empty")
+    if np.any((rates < 0.0) | (rates > 1.0)):
+        raise ValueError("acceptance rates must lie in [0, 1]")
+    mean = float(rates.mean())
+    if rates.size == 1:
+        return mean, 0.0
+    x = np.arange(rates.size, dtype=np.float64)
+    slope = float(np.polyfit(x, rates, 1)[0])
+    return mean, slope
+
+
+def temperature_stability(temperature_history: Sequence[float], tail: int = 5) -> float:
+    """Relative spread of the adaptive temperature over the last ``tail`` iterations.
+
+    Returns ``(max - min) / mean`` of the tail window; values near zero mean
+    the annealing controller has settled.
+    """
+    temps = np.asarray(list(temperature_history), dtype=np.float64)
+    if temps.size == 0:
+        raise ValueError("temperature_history is empty")
+    if np.any(temps <= 0.0):
+        raise ValueError("temperatures must be positive")
+    if tail <= 0:
+        raise ValueError("tail must be positive")
+    window = temps[-tail:]
+    return float((window.max() - window.min()) / window.mean())
+
+
+def split_half_agreement(values: Sequence[float]) -> float:
+    """Gelman-Rubin-style potential scale reduction of a scalar statistic.
+
+    The values (one per independent trajectory) are split into two halves
+    treated as two chains; the statistic is the classic
+    ``sqrt((W (n-1)/n + B/n) / W)`` where ``W`` is the within-chain and ``B``
+    the between-chain variance.  Values close to 1 indicate the independent
+    trajectories agree on the statistic; values well above 1 indicate the
+    sampler has not equilibrated.
+
+    Returns ``inf`` when the within-chain variance is zero but the halves
+    disagree, and 1.0 when both variances vanish.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size < 4:
+        raise ValueError("at least four values are required for a split-half analysis")
+    half = data.size // 2
+    chains = [data[:half], data[half : 2 * half]]
+    n = half
+    means = np.array([c.mean() for c in chains])
+    variances = np.array([c.var(ddof=1) for c in chains])
+    within = float(variances.mean())
+    between = float(n * means.var(ddof=1))
+    if within == 0.0:
+        return 1.0 if between == 0.0 else float("inf")
+    var_plus = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_plus / within))
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Convergence summary of one or more sampling trajectories.
+
+    Attributes
+    ----------
+    n_trajectories:
+        Number of trajectories analysed.
+    mean_acceptance / acceptance_slope:
+        Pooled acceptance statistics (see :func:`acceptance_trend`).
+    temperature_stability:
+        Pooled tail-window temperature spread (see
+        :func:`temperature_stability`).
+    psrf_best_score:
+        Split-half potential scale reduction factor of the per-trajectory
+        best composite score (NaN when fewer than four trajectories).
+    equilibrated:
+        Heuristic verdict: acceptance not collapsing, temperature settled,
+        and (when available) the PSRF below 1.2.
+    """
+
+    n_trajectories: int
+    mean_acceptance: float
+    acceptance_slope: float
+    temperature_stability: float
+    psrf_best_score: float
+
+    @property
+    def equilibrated(self) -> bool:
+        """Heuristic convergence verdict (see class docstring)."""
+        acceptance_ok = self.mean_acceptance > 0.02 and abs(self.acceptance_slope) < 0.05
+        temperature_ok = self.temperature_stability < 1.0
+        psrf_ok = np.isnan(self.psrf_best_score) or self.psrf_best_score < 1.2
+        return bool(acceptance_ok and temperature_ok and psrf_ok)
+
+
+def diagnose(results: Sequence[SamplingResult]) -> ConvergenceReport:
+    """Build a :class:`ConvergenceReport` from independent sampling results."""
+    results = list(results)
+    if not results:
+        raise ValueError("at least one sampling result is required")
+
+    acceptance: List[float] = []
+    slopes: List[float] = []
+    stabilities: List[float] = []
+    best_scores: List[float] = []
+    for result in results:
+        if result.acceptance_history:
+            mean, slope = acceptance_trend(result.acceptance_history)
+            acceptance.append(mean)
+            slopes.append(slope)
+        if result.temperature_history:
+            stabilities.append(temperature_stability(result.temperature_history))
+        # Scalar summary per trajectory: the best (lowest) summed score.
+        best_scores.append(float(result.population.scores.sum(axis=1).min()))
+
+    psrf = float("nan")
+    if len(best_scores) >= 4:
+        psrf = split_half_agreement(best_scores)
+
+    return ConvergenceReport(
+        n_trajectories=len(results),
+        mean_acceptance=float(np.mean(acceptance)) if acceptance else 0.0,
+        acceptance_slope=float(np.mean(slopes)) if slopes else 0.0,
+        temperature_stability=float(np.mean(stabilities)) if stabilities else 0.0,
+        psrf_best_score=psrf,
+    )

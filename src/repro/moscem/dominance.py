@@ -1,0 +1,149 @@
+"""Pareto dominance and the strength-based fitness assignment of Eq. (1).
+
+All objectives are minimised.  A conformation ``a`` *dominates* ``b`` when
+``a`` is no worse than ``b`` in every scoring function and strictly better
+in at least one.  Following the paper:
+
+* the *strength* ``s_i`` of a non-dominated conformation is the proportion
+  of the population it dominates;
+* the *fitness* of a non-dominated conformation is its strength (always
+  < 1);
+* the fitness of a dominated conformation is 1 plus the sum of the
+  strengths of the non-dominated conformations that dominate it (always
+  >= 1).
+
+Hence "fitness < 1" identifies the current Pareto-optimal front, the
+property the sampler uses when harvesting decoys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "dominance_matrix",
+    "non_dominated_mask",
+    "strength_fitness",
+    "fitness_against",
+]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether score vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def dominance_matrix(scores: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``D`` with ``D[i, j]`` true when member i dominates j.
+
+    Parameters
+    ----------
+    scores:
+        ``(N, K)`` score matrix (lower is better in every column).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must have shape (N, K)")
+    leq = np.all(scores[:, None, :] <= scores[None, :, :], axis=-1)
+    lt = np.any(scores[:, None, :] < scores[None, :, :], axis=-1)
+    return leq & lt
+
+
+def non_dominated_mask(scores: np.ndarray) -> np.ndarray:
+    """Boolean mask of the members not dominated by any other member."""
+    dom = dominance_matrix(scores)
+    return ~np.any(dom, axis=0)
+
+
+def strength_fitness(scores: np.ndarray) -> np.ndarray:
+    """Fitness of every member of a score set, per the paper's Eq. (1).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N,)`` fitness values; values below 1 identify the non-dominated
+        (Pareto-front) members.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    dom = dominance_matrix(scores)  # dom[i, j]: i dominates j
+    nd_mask = ~np.any(dom, axis=0)
+
+    # Strength of each non-dominated member: fraction of the population it
+    # dominates.  (Dominated members are assigned zero strength; they never
+    # contribute to fitness sums.)
+    strengths = np.where(nd_mask, dom.sum(axis=1) / float(n), 0.0)
+
+    fitness = np.empty(n, dtype=np.float64)
+    # Non-dominated: fitness equals own strength (< 1 by construction).
+    fitness[nd_mask] = strengths[nd_mask]
+    # Dominated: 1 + sum of strengths of the non-dominated members that
+    # dominate them.
+    dominated_idx = np.where(~nd_mask)[0]
+    if dominated_idx.size:
+        dominators = dom[:, dominated_idx] & nd_mask[:, None]
+        fitness[dominated_idx] = 1.0 + (strengths[:, None] * dominators).sum(axis=0)
+    return fitness
+
+
+def fitness_against(reference_scores: np.ndarray, query_scores: np.ndarray) -> np.ndarray:
+    """Fitness of query conformations evaluated against a reference set.
+
+    Used by the Metropolis step: the fitness of a proposed conformation (and
+    of the conformation it would replace) is computed against the members of
+    its complex.  Each query is scored independently, i.e. queries do not
+    affect each other's fitness.
+
+    Parameters
+    ----------
+    reference_scores:
+        ``(N, K)`` scores of the reference set (the complex).
+    query_scores:
+        ``(Q, K)`` scores of the query conformations.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(Q,)`` fitness values on the same scale as
+        :func:`strength_fitness`.
+    """
+    reference_scores = np.asarray(reference_scores, dtype=np.float64)
+    query_scores = np.asarray(query_scores, dtype=np.float64)
+    if query_scores.ndim == 1:
+        query_scores = query_scores[None, :]
+    n = reference_scores.shape[0]
+    q = query_scores.shape[0]
+    if n == 0:
+        return np.zeros(q, dtype=np.float64)
+
+    # Dominance among reference members (for strengths).
+    ref_dom = dominance_matrix(reference_scores)
+    ref_nd = ~np.any(ref_dom, axis=0)
+    strengths = np.where(ref_nd, ref_dom.sum(axis=1) / float(n), 0.0)
+
+    # Dominance of reference members over queries and vice versa.
+    ref_le_q = np.all(reference_scores[:, None, :] <= query_scores[None, :, :], axis=-1)
+    ref_lt_q = np.any(reference_scores[:, None, :] < query_scores[None, :, :], axis=-1)
+    ref_dominates_query = ref_le_q & ref_lt_q  # (N, Q)
+
+    q_le_ref = np.all(query_scores[:, None, :] <= reference_scores[None, :, :], axis=-1)
+    q_lt_ref = np.any(query_scores[:, None, :] < reference_scores[None, :, :], axis=-1)
+    query_dominates_ref = q_le_ref & q_lt_ref  # (Q, N)
+
+    fitness = np.empty(q, dtype=np.float64)
+    query_nd = ~np.any(ref_dominates_query, axis=0)  # (Q,)
+
+    # Non-dominated queries: strength relative to the reference set.
+    fitness[query_nd] = query_dominates_ref[query_nd].sum(axis=1) / float(n)
+    # Dominated queries: 1 + sum of strengths of dominating non-dominated
+    # reference members.
+    dominated = ~query_nd
+    if np.any(dominated):
+        dominators = ref_dominates_query[:, dominated] & ref_nd[:, None]
+        fitness[dominated] = 1.0 + (strengths[:, None] * dominators).sum(axis=0)
+    return fitness

@@ -1,0 +1,94 @@
+"""Metropolis acceptance on the fitness landscape and temperature control.
+
+The acceptance rule of the paper (Section III.D) replaces a complex member
+``L_j`` with its mutated proposal ``L_j'`` with probability::
+
+    1                                        if fit(L_j') <= fit(L_j)
+    exp(-(fit(L_j') - fit(L_j)) / T)         otherwise
+
+The temperature is adjusted after every iteration from the observed
+acceptance rate (the paper's "Adjust temperature T according to acceptance
+rate"), implementing the simulated-tempering-style fast barrier crossing the
+paper cites (ref [28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["metropolis_accept", "TemperatureSchedule"]
+
+
+def metropolis_accept(
+    current_fitness: np.ndarray,
+    proposed_fitness: np.ndarray,
+    temperature: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorised Metropolis acceptance decisions.
+
+    Parameters
+    ----------
+    current_fitness / proposed_fitness:
+        Arrays of identical shape holding fit(L_j) and fit(L_j').
+    temperature:
+        Metropolis temperature ``T`` (> 0).
+    rng:
+        Random generator supplying the uniform draws.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array: True where the proposal is accepted.
+    """
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive")
+    current = np.asarray(current_fitness, dtype=np.float64)
+    proposed = np.asarray(proposed_fitness, dtype=np.float64)
+    if current.shape != proposed.shape:
+        raise ValueError("fitness arrays must have the same shape")
+    delta = proposed - current
+    probability = np.where(delta <= 0.0, 1.0, np.exp(-delta / temperature))
+    return rng.random(size=current.shape) < probability
+
+
+@dataclass
+class TemperatureSchedule:
+    """Adaptive temperature controller targeting a fixed acceptance rate.
+
+    After each iteration the observed acceptance rate is compared with the
+    target; the temperature is scaled up when acceptance is too low (to
+    cross fitness barriers) and down when it is too high (to sharpen the
+    search), within configured bounds.
+    """
+
+    temperature: float = 1.0
+    target_acceptance: float = 0.3
+    adjustment: float = 1.25
+    minimum: float = 0.05
+    maximum: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        if not (0.0 < self.target_acceptance < 1.0):
+            raise ValueError("target_acceptance must be in (0, 1)")
+        if self.adjustment <= 1.0:
+            raise ValueError("adjustment must be > 1")
+        if not (0.0 < self.minimum <= self.maximum):
+            raise ValueError("invalid temperature bounds")
+
+    def update(self, acceptance_rate: float) -> float:
+        """Update the temperature from an observed acceptance rate.
+
+        Returns the new temperature.
+        """
+        if not (0.0 <= acceptance_rate <= 1.0):
+            raise ValueError("acceptance_rate must be in [0, 1]")
+        if acceptance_rate < self.target_acceptance:
+            self.temperature = min(self.temperature * self.adjustment, self.maximum)
+        elif acceptance_rate > self.target_acceptance:
+            self.temperature = max(self.temperature / self.adjustment, self.minimum)
+        return self.temperature

@@ -1,0 +1,116 @@
+"""Torsion mutation proposals ([Reproduction] in the paper's pseudocode).
+
+A new conformation is generated from an old one by perturbing a small number
+of randomly selected torsion angles.  Two kinds of moves are mixed:
+
+* a *local* Gaussian perturbation of the selected angles (refinement), and
+* a *basin hop* that redraws the selected residue's (phi, psi) pair from the
+  Ramachandran model (exploration).
+
+The index of the first mutated torsion is reported so that CCD can start
+closing the loop "from the immediate torsion angle after the mutated ones"
+as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.vectors import wrap_angle
+from repro.loops.ramachandran import sample_basin
+
+__all__ = ["mutate_torsions", "mutate_population"]
+
+
+def mutate_torsions(
+    torsions: np.ndarray,
+    sequence: str,
+    rng: np.random.Generator,
+    n_angles: int = 2,
+    sigma: float = np.radians(30.0),
+    basin_hop_probability: float = 0.3,
+) -> Tuple[np.ndarray, int]:
+    """Mutate one torsion vector.
+
+    Parameters
+    ----------
+    torsions:
+        ``(2n,)`` torsion vector.
+    sequence:
+        Loop sequence (used for basin-hop redraws).
+    rng:
+        Random generator.
+    n_angles:
+        Number of torsion angles to perturb.
+    sigma:
+        Standard deviation of the Gaussian perturbation (radians).
+    basin_hop_probability:
+        Probability that the move redraws whole (phi, psi) pairs from the
+        Ramachandran basins instead of perturbing locally.
+
+    Returns
+    -------
+    (mutated, ccd_start)
+        The mutated torsion vector and the torsion index immediately after
+        the first mutated angle block, which is where CCD starts.
+    """
+    torsions = np.asarray(torsions, dtype=np.float64)
+    n_torsions = torsions.shape[0]
+    if n_torsions % 2 != 0 or n_torsions // 2 != len(sequence):
+        raise ValueError("torsions length does not match sequence")
+    n_angles = int(np.clip(n_angles, 1, n_torsions))
+
+    mutated = torsions.copy()
+    if rng.random() < basin_hop_probability:
+        # Redraw whole residues from the Ramachandran model.
+        n_res = max(1, n_angles // 2)
+        residues = rng.choice(len(sequence), size=n_res, replace=False)
+        for res in residues:
+            phi, psi = sample_basin(sequence[res], rng)
+            mutated[2 * res] = phi
+            mutated[2 * res + 1] = psi
+        first = int(np.min(residues)) * 2
+        last = int(np.max(residues)) * 2 + 1
+    else:
+        indices = rng.choice(n_torsions, size=n_angles, replace=False)
+        perturbation = rng.normal(0.0, sigma, size=n_angles)
+        mutated[indices] = wrap_angle(mutated[indices] + perturbation)
+        first = int(np.min(indices))
+        last = int(np.max(indices))
+
+    ccd_start = min(last + 1, n_torsions - 1)
+    return mutated, ccd_start
+
+
+def mutate_population(
+    torsions: np.ndarray,
+    sequence: str,
+    rng: np.random.Generator,
+    n_angles: int = 2,
+    sigma: float = np.radians(30.0),
+    basin_hop_probability: float = 0.3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mutate every member of a population.
+
+    Returns
+    -------
+    (mutated, ccd_starts)
+        ``(P, 2n)`` mutated torsions and ``(P,)`` per-member CCD start
+        indices.
+    """
+    torsions = np.asarray(torsions, dtype=np.float64)
+    pop = torsions.shape[0]
+    mutated = np.empty_like(torsions)
+    starts = np.empty(pop, dtype=np.int64)
+    for i in range(pop):
+        mutated[i], starts[i] = mutate_torsions(
+            torsions[i],
+            sequence,
+            rng,
+            n_angles=n_angles,
+            sigma=sigma,
+            basin_hop_probability=basin_hop_probability,
+        )
+    return mutated, starts

@@ -1,0 +1,122 @@
+"""Population container for the MOSCEM sampler.
+
+Arrays are kept population-major (``(P, ...)``) so that one row corresponds
+to one logical GPU thread, mirroring the paper's coalesced data layout in
+which the per-residue ``float2`` torsion pairs of all conformations are
+tiled contiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.moscem.dominance import non_dominated_mask
+
+__all__ = ["Population"]
+
+
+@dataclass
+class Population:
+    """A population of loop conformations with their scores and fitness.
+
+    Attributes
+    ----------
+    torsions:
+        ``(P, 2n)`` torsion matrix.
+    coords:
+        ``(P, n, 4, 3)`` backbone coordinates (always kept in sync with
+        ``torsions`` by the sampler).
+    closure:
+        ``(P, 3, 3)`` built closure atoms.
+    scores:
+        ``(P, K)`` scoring-function values (lower is better).
+    fitness:
+        ``(P,)`` Pareto-strength fitness (Eq. 1) of each member, or ``None``
+        before the first fitness assignment.
+    """
+
+    torsions: np.ndarray
+    coords: np.ndarray
+    closure: np.ndarray
+    scores: np.ndarray
+    fitness: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.torsions = np.asarray(self.torsions, dtype=np.float64)
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        self.closure = np.asarray(self.closure, dtype=np.float64)
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        p = self.torsions.shape[0]
+        for name, arr in (("coords", self.coords), ("closure", self.closure), ("scores", self.scores)):
+            if arr.shape[0] != p:
+                raise ValueError(f"{name} has {arr.shape[0]} members, expected {p}")
+        if self.fitness is not None:
+            self.fitness = np.asarray(self.fitness, dtype=np.float64)
+            if self.fitness.shape != (p,):
+                raise ValueError("fitness must have shape (P,)")
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return self.torsions.shape[0]
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of scoring functions."""
+        return self.scores.shape[1]
+
+    @property
+    def n_residues(self) -> int:
+        """Loop length."""
+        return self.coords.shape[1]
+
+    def non_dominated(self) -> np.ndarray:
+        """Boolean mask of the current Pareto-front members."""
+        return non_dominated_mask(self.scores)
+
+    def select(self, indices: np.ndarray) -> "Population":
+        """Return a new population containing the given members (by index)."""
+        indices = np.asarray(indices)
+        return Population(
+            torsions=self.torsions[indices].copy(),
+            coords=self.coords[indices].copy(),
+            closure=self.closure[indices].copy(),
+            scores=self.scores[indices].copy(),
+            fitness=None if self.fitness is None else self.fitness[indices].copy(),
+        )
+
+    def replace(self, indices: np.ndarray, other: "Population") -> None:
+        """Overwrite the members at ``indices`` with the members of ``other``."""
+        indices = np.asarray(indices)
+        if indices.shape[0] != other.size:
+            raise ValueError("index count does not match replacement population size")
+        self.torsions[indices] = other.torsions
+        self.coords[indices] = other.coords
+        self.closure[indices] = other.closure
+        self.scores[indices] = other.scores
+        if self.fitness is not None and other.fitness is not None:
+            self.fitness[indices] = other.fitness
+
+    def copy(self) -> "Population":
+        """Deep copy."""
+        return Population(
+            torsions=self.torsions.copy(),
+            coords=self.coords.copy(),
+            closure=self.closure.copy(),
+            scores=self.scores.copy(),
+            fitness=None if self.fitness is None else self.fitness.copy(),
+        )
+
+    def nbytes(self) -> int:
+        """Total size of the population arrays in bytes.
+
+        Used by the GPU backend to size its simulated host/device transfers.
+        """
+        total = self.torsions.nbytes + self.coords.nbytes + self.closure.nbytes
+        total += self.scores.nbytes
+        if self.fitness is not None:
+            total += self.fitness.nbytes
+        return total

@@ -1,0 +1,321 @@
+"""The MOSCEM sampling loop (Section III.D of the paper).
+
+The sampler orchestrates one sampling *trajectory*:
+
+1. initialise a random population of loop conformations, close every loop
+   with CCD, and evaluate the three scoring functions;
+2. per iteration: assign Pareto-strength fitness over the population, sort,
+   deal the population into complexes, propose a mutated conformation for
+   every member, close and score the proposals, and apply the Metropolis
+   acceptance of each proposal against its complex; finally re-assemble the
+   complexes and adapt the temperature from the acceptance rate;
+3. harvest the structurally distinct non-dominated conformations as decoys.
+
+The heavy kernels are delegated to a :class:`~repro.backends.base.SamplingBackend`
+(CPU reference or simulated GPU); the host-side bookkeeping (sorting,
+partitioning, mutation, assembly) is timed into the sampler's own ledger so
+the Fig. 1 breakdown can be reproduced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DecoyGenerationConfig, SamplingConfig
+from repro.loops.loop import LoopTarget
+from repro.loops.ramachandran import RamachandranModel
+from repro.moscem.complexes import partition_population
+from repro.moscem.decoys import DecoySet
+from repro.moscem.dominance import non_dominated_mask
+from repro.moscem.metropolis import TemperatureSchedule, metropolis_accept
+from repro.moscem.mutation import mutate_population
+from repro.moscem.population import Population
+from repro.moscem.trajectory import TrajectoryRecorder
+from repro.scoring.base import MultiScore
+from repro.utils.rng import RandomStreams
+from repro.utils.timing import TimingLedger
+
+__all__ = ["MOSCEMSampler", "SamplingResult"]
+
+
+@dataclass
+class SamplingResult:
+    """Outcome of one MOSCEM sampling trajectory.
+
+    Attributes
+    ----------
+    population:
+        The final population (torsions, coordinates, scores, fitness).
+    rmsd:
+        ``(P,)`` RMSD of every final member to the native loop.
+    non_dominated:
+        Boolean mask of the final Pareto-front members.
+    recorder:
+        The trajectory recorder (possibly empty if no snapshots requested).
+    host_ledger / kernel_ledger:
+        Timing breakdowns of the host-side sections and of the backend
+        kernels respectively.
+    acceptance_history / temperature_history:
+        Per-iteration acceptance rates and temperatures.
+    wall_seconds:
+        Total wall-clock time of the trajectory.
+    backend_name:
+        Name of the backend the trajectory ran on.
+    """
+
+    population: Population
+    rmsd: np.ndarray
+    non_dominated: np.ndarray
+    recorder: TrajectoryRecorder
+    host_ledger: TimingLedger
+    kernel_ledger: TimingLedger
+    acceptance_history: List[float] = field(default_factory=list)
+    temperature_history: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    backend_name: str = ""
+
+    @property
+    def best_rmsd(self) -> float:
+        """Lowest RMSD in the final population."""
+        return float(self.rmsd.min()) if self.rmsd.size else float("inf")
+
+    @property
+    def best_non_dominated_rmsd(self) -> float:
+        """Lowest RMSD among the final non-dominated conformations."""
+        masked = self.rmsd[self.non_dominated]
+        return float(masked.min()) if masked.size else float("inf")
+
+    def n_non_dominated(self) -> int:
+        """Number of non-dominated conformations in the final population."""
+        return int(self.non_dominated.sum())
+
+    def distinct_non_dominated(self, threshold: Optional[float] = None) -> DecoySet:
+        """The structurally distinct non-dominated conformations as a decoy set."""
+        kwargs = {} if threshold is None else {"distinctness_threshold": threshold}
+        decoys = DecoySet(**kwargs)
+        indices = np.where(self.non_dominated)[0]
+        # Harvest in order of increasing fitness so the most representative
+        # members are kept when later ones fall within the 30-degree ball.
+        if self.population.fitness is not None:
+            indices = indices[np.argsort(self.population.fitness[indices])]
+        for i in indices:
+            decoys.add(
+                torsions=self.population.torsions[i],
+                coords=self.population.coords[i],
+                scores=self.population.scores[i],
+                rmsd=float(self.rmsd[i]),
+            )
+        return decoys
+
+
+class MOSCEMSampler:
+    """Multi-scoring-functions loop sampler."""
+
+    def __init__(
+        self,
+        target: LoopTarget,
+        config: Optional[SamplingConfig] = None,
+        multi_score: Optional[MultiScore] = None,
+        backend: Optional[object] = None,
+        backend_kind: str = "gpu",
+        ramachandran: Optional[RamachandranModel] = None,
+    ) -> None:
+        self.target = target
+        self.config = config if config is not None else SamplingConfig()
+        if multi_score is None:
+            from repro.scoring import default_multi_score
+
+            multi_score = default_multi_score(target)
+        self.multi_score = multi_score
+        if backend is None:
+            from repro.backends import make_backend
+
+            backend = make_backend(backend_kind, target, multi_score, self.config)
+        self.backend = backend
+        self.ramachandran = ramachandran if ramachandran is not None else RamachandranModel()
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+
+    def initialize_population(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw the initial torsion population from the Ramachandran model."""
+        return self.ramachandran.sample_population(
+            self.target.sequence, self.config.population_size, rng
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        snapshot_iterations: Sequence[int] = (),
+    ) -> SamplingResult:
+        """Run one sampling trajectory.
+
+        Parameters
+        ----------
+        seed:
+            Optional override of the configuration seed.
+        snapshot_iterations:
+            Iterations at which the non-dominated set is recorded (0 records
+            the state right after initialisation), used by the Fig. 5
+            experiment.
+        """
+        config = self.config
+        streams = RandomStreams(config.seed if seed is None else seed)
+        mutation_rng = streams.get("mutation")
+        metropolis_rng = streams.get("metropolis")
+        init_rng = streams.get("initialization")
+
+        host_ledger = TimingLedger()
+        recorder = TrajectoryRecorder(iterations=snapshot_iterations)
+        schedule = TemperatureSchedule(
+            temperature=config.temperature,
+            target_acceptance=config.target_acceptance,
+            minimum=config.temperature_min,
+            maximum=config.temperature_max,
+        )
+        acceptance_history: List[float] = []
+        temperature_history: List[float] = []
+
+        start = time.perf_counter()
+
+        # -- Initialisation ------------------------------------------------
+        with host_ledger.section("Initialization"):
+            torsions = self.initialize_population(init_rng)
+        population = self.backend.initialize(torsions)
+        population.fitness = self.backend.fitness_population(population.scores)
+
+        if recorder.wants(0):
+            rmsd0 = self.target.rmsd_to_native_batch(population.coords)
+            recorder.record(0, population.scores, rmsd0, schedule.temperature, 0.0)
+
+        complex_layout = partition_population(config.population_size, config.n_complexes)
+
+        # -- MCMC iterations -------------------------------------------------
+        for iteration in range(1, config.iterations + 1):
+            # [FitAssg] over the whole population (kernel).
+            population.fitness = self.backend.fitness_population(population.scores)
+            self.backend.sync_to_host(population)
+
+            # [FitSort] + [Partition] on the host.
+            with host_ledger.section("FitSort"):
+                order = np.argsort(population.fitness, kind="stable")
+            with host_ledger.section("Partition"):
+                complexes = [order[idx] for idx in complex_layout]
+
+            # [Reproduction] on the host: propose a mutation for every member.
+            with host_ledger.section("Reproduction"):
+                proposals, ccd_starts = mutate_population(
+                    population.torsions,
+                    self.target.sequence,
+                    mutation_rng,
+                    n_angles=config.mutation_angles,
+                    sigma=config.mutation_sigma,
+                )
+            self.backend.sync_to_device(population)
+
+            # [CCD] + scoring kernels.
+            ccd = self.backend.close_loops(proposals, ccd_starts)
+            proposal_scores = self.backend.evaluate_scores(ccd.coords, ccd.torsions)
+
+            # [FitAssg] within complexes + [Metropolis].
+            current_fit, proposal_fit = self.backend.fitness_within_complexes(
+                population.scores, proposal_scores, complexes
+            )
+            accept = metropolis_accept(
+                current_fit, proposal_fit, schedule.temperature, metropolis_rng
+            )
+            if config.require_closure:
+                # Only proposals satisfying the loop-closure condition are
+                # admissible loop models (Section III.C of the paper).
+                closed = ccd.closure_error <= (
+                    config.ccd_tolerance * config.closure_tolerance_factor
+                )
+                accept &= closed
+
+            with host_ledger.section("Assemble"):
+                accepted = np.where(accept)[0]
+                if accepted.size:
+                    population.torsions[accepted] = ccd.torsions[accepted]
+                    population.coords[accepted] = ccd.coords[accepted]
+                    population.closure[accepted] = ccd.closure[accepted]
+                    population.scores[accepted] = proposal_scores[accepted]
+
+            rate = float(accept.mean())
+            acceptance_history.append(rate)
+            temperature_history.append(schedule.temperature)
+            schedule.update(rate)
+
+            if recorder.wants(iteration):
+                rmsd_now = self.target.rmsd_to_native_batch(population.coords)
+                recorder.record(
+                    iteration, population.scores, rmsd_now, schedule.temperature, rate
+                )
+
+        # -- Wrap-up ---------------------------------------------------------
+        population.fitness = self.backend.fitness_population(population.scores)
+        self.backend.finalize(population)
+        rmsd = self.target.rmsd_to_native_batch(population.coords)
+        wall = time.perf_counter() - start
+
+        return SamplingResult(
+            population=population,
+            rmsd=rmsd,
+            non_dominated=non_dominated_mask(population.scores),
+            recorder=recorder,
+            host_ledger=host_ledger,
+            kernel_ledger=self.backend.ledger,
+            acceptance_history=acceptance_history,
+            temperature_history=temperature_history,
+            wall_seconds=wall,
+            backend_name=self.backend.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Decoy-set generation across trajectories
+    # ------------------------------------------------------------------
+
+    def generate_decoy_set(
+        self,
+        decoy_config: Optional[DecoyGenerationConfig] = None,
+        base_seed: Optional[int] = None,
+    ) -> DecoySet:
+        """Repeat trajectories with fresh seeds until the decoy set is full.
+
+        Mirrors Section V.C of the paper: each trajectory contributes its
+        structurally distinct non-dominated conformations; trajectories are
+        repeated with a different random seed until the requested number of
+        decoys is collected (or the trajectory budget is exhausted).
+        """
+        decoy_config = decoy_config if decoy_config is not None else DecoyGenerationConfig()
+        threshold = decoy_config.distinctness_threshold
+        kwargs = {} if threshold is None else {"distinctness_threshold": threshold}
+        decoys = DecoySet(max_size=decoy_config.target_decoys, **kwargs)
+        seed0 = self.config.seed if base_seed is None else base_seed
+
+        for trajectory in range(decoy_config.max_trajectories):
+            if decoys.full:
+                break
+            result = self.run(seed=seed0 + trajectory)
+            indices = np.where(result.non_dominated)[0]
+            if result.population.fitness is not None:
+                indices = indices[np.argsort(result.population.fitness[indices])]
+            for i in indices:
+                decoys.add(
+                    torsions=result.population.torsions[i],
+                    coords=result.population.coords[i],
+                    scores=result.population.scores[i],
+                    rmsd=float(result.rmsd[i]),
+                    trajectory=trajectory,
+                )
+                if decoys.full:
+                    break
+        return decoys

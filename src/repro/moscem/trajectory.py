@@ -1,0 +1,88 @@
+"""Trajectory snapshot recording.
+
+Figure 5 of the paper tracks how the non-dominated set evolves during
+sampling (at initialisation, after 20 iterations and after 100 iterations)
+by plotting the normalised scores of the non-dominated conformations,
+coloured by RMSD.  :class:`TrajectoryRecorder` captures exactly the data
+needed for that analysis at requested iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.moscem.dominance import non_dominated_mask
+from repro.scoring.normalization import normalize_scores
+
+__all__ = ["TrajectorySnapshot", "TrajectoryRecorder"]
+
+
+@dataclass(frozen=True)
+class TrajectorySnapshot:
+    """State of the non-dominated set at one iteration."""
+
+    iteration: int
+    scores: np.ndarray
+    normalized_scores: np.ndarray
+    rmsd: np.ndarray
+    n_non_dominated: int
+    temperature: float
+    acceptance_rate: float
+
+    @property
+    def best_rmsd(self) -> float:
+        """Lowest RMSD among the non-dominated conformations (inf if none)."""
+        return float(self.rmsd.min()) if self.rmsd.size else float("inf")
+
+
+@dataclass
+class TrajectoryRecorder:
+    """Records snapshots of the non-dominated set at selected iterations.
+
+    Parameters
+    ----------
+    iterations:
+        Iterations at which to record (0 means "right after initialisation").
+        An empty sequence records nothing.
+    """
+
+    iterations: Sequence[int] = ()
+    snapshots: List[TrajectorySnapshot] = field(default_factory=list)
+
+    def wants(self, iteration: int) -> bool:
+        """Whether a snapshot should be recorded at ``iteration``."""
+        return iteration in set(int(i) for i in self.iterations)
+
+    def record(
+        self,
+        iteration: int,
+        scores: np.ndarray,
+        rmsd: np.ndarray,
+        temperature: float = float("nan"),
+        acceptance_rate: float = float("nan"),
+    ) -> Optional[TrajectorySnapshot]:
+        """Record the non-dominated subset of the population, if requested."""
+        if not self.wants(iteration):
+            return None
+        scores = np.asarray(scores, dtype=np.float64)
+        rmsd = np.asarray(rmsd, dtype=np.float64)
+        mask = non_dominated_mask(scores)
+        nd_scores = scores[mask]
+        snapshot = TrajectorySnapshot(
+            iteration=int(iteration),
+            scores=nd_scores.copy(),
+            normalized_scores=normalize_scores(nd_scores) if nd_scores.size else nd_scores,
+            rmsd=rmsd[mask].copy(),
+            n_non_dominated=int(mask.sum()),
+            temperature=float(temperature),
+            acceptance_rate=float(acceptance_rate),
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def by_iteration(self) -> Dict[int, TrajectorySnapshot]:
+        """Snapshots keyed by iteration number (last one wins on duplicates)."""
+        return {snap.iteration: snap for snap in self.snapshots}

@@ -1,0 +1,24 @@
+"""Minimal protein model: residues, backbone chains, structures and PDB I/O.
+
+The sampler itself only needs loop backbone atoms plus the surrounding
+protein environment as an excluded-volume point cloud, but a small, real
+protein model makes the package usable for downstream work (writing decoys
+out as PDB files, reading loop definitions from existing structures, ...).
+"""
+
+from repro.protein.residue import Residue, ResidueType, residue_type
+from repro.protein.chain import BackboneChain
+from repro.protein.structure import Atom, ProteinStructure
+from repro.protein.pdb import read_pdb, write_pdb, loop_to_pdb
+
+__all__ = [
+    "Residue",
+    "ResidueType",
+    "residue_type",
+    "BackboneChain",
+    "Atom",
+    "ProteinStructure",
+    "read_pdb",
+    "write_pdb",
+    "loop_to_pdb",
+]

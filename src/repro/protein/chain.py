@@ -1,0 +1,121 @@
+"""Backbone chain container: a sequence of residues plus backbone coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.protein.residue import Residue, validate_sequence
+
+__all__ = ["BackboneChain"]
+
+
+@dataclass
+class BackboneChain:
+    """A contiguous stretch of residues with backbone (N, CA, C, O) coordinates.
+
+    Attributes
+    ----------
+    residues:
+        The residues of the chain, in order.
+    coords:
+        Array of shape ``(n, 4, 3)`` holding N, CA, C, O coordinates per
+        residue, or ``None`` if the chain has no coordinates yet.
+    chain_id:
+        Single-character chain identifier used when writing PDB files.
+    """
+
+    residues: List[Residue] = field(default_factory=list)
+    coords: Optional[np.ndarray] = None
+    chain_id: str = "A"
+
+    @classmethod
+    def from_sequence(
+        cls,
+        sequence: str,
+        coords: Optional[np.ndarray] = None,
+        chain_id: str = "A",
+        start_index: int = 0,
+    ) -> "BackboneChain":
+        """Build a chain from a one-letter sequence and optional coordinates."""
+        seq = validate_sequence(sequence)
+        residues = [Residue(index=start_index + i, aa=aa) for i, aa in enumerate(seq)]
+        chain = cls(residues=residues, coords=None, chain_id=chain_id)
+        if coords is not None:
+            chain.set_coords(coords)
+        return chain
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __iter__(self) -> Iterator[Residue]:
+        return iter(self.residues)
+
+    @property
+    def sequence(self) -> str:
+        """One-letter sequence of the chain."""
+        return "".join(res.aa for res in self.residues)
+
+    def set_coords(self, coords: np.ndarray) -> None:
+        """Attach backbone coordinates, validating the shape."""
+        coords = np.asarray(coords, dtype=np.float64)
+        expected = (len(self.residues), constants.BACKBONE_ATOMS_PER_RESIDUE, 3)
+        if coords.shape != expected:
+            raise ValueError(
+                f"coords shape {coords.shape} does not match chain of "
+                f"{len(self.residues)} residues (expected {expected})"
+            )
+        self.coords = coords
+
+    def atom_coords(self, atom_name: str) -> np.ndarray:
+        """Coordinates of a named backbone atom (``N``/``CA``/``C``/``O``) per residue."""
+        if self.coords is None:
+            raise ValueError("chain has no coordinates")
+        try:
+            idx = constants.BACKBONE_ATOM_INDEX[atom_name]
+        except KeyError as exc:
+            raise ValueError(f"unknown backbone atom name: {atom_name!r}") from exc
+        return self.coords[:, idx, :]
+
+    def flat_coords(self) -> np.ndarray:
+        """All backbone atoms as a flat ``(n * 4, 3)`` array."""
+        if self.coords is None:
+            raise ValueError("chain has no coordinates")
+        return self.coords.reshape(-1, 3)
+
+    def subchain(self, start: int, end: int) -> "BackboneChain":
+        """Return the residues ``start`` (inclusive) to ``end`` (exclusive)."""
+        if not (0 <= start <= end <= len(self.residues)):
+            raise IndexError(f"invalid subchain range [{start}, {end})")
+        residues = [r for r in self.residues[start:end]]
+        coords = None if self.coords is None else self.coords[start:end].copy()
+        return BackboneChain(residues=residues, coords=coords, chain_id=self.chain_id)
+
+    def centroid_positions(self) -> np.ndarray:
+        """Approximate side-chain centroid position for each residue.
+
+        The centroid is placed along the direction bisecting the N-CA and
+        C-CA bonds (pointing away from the backbone), at the per-residue
+        centroid distance.  Glycine centroids coincide with CA.
+        """
+        if self.coords is None:
+            raise ValueError("chain has no coordinates")
+        n_atoms = self.coords[:, 0, :]
+        ca = self.coords[:, 1, :]
+        c_atoms = self.coords[:, 2, :]
+        away = ca - 0.5 * (n_atoms + c_atoms)
+        norms = np.linalg.norm(away, axis=1, keepdims=True)
+        norms[norms < 1e-9] = 1.0
+        away = away / norms
+        dists = np.array([res.centroid_distance for res in self.residues])
+        return ca + away * dists[:, None]
+
+    def copy(self) -> "BackboneChain":
+        """Deep copy of the chain."""
+        coords = None if self.coords is None else self.coords.copy()
+        return BackboneChain(
+            residues=list(self.residues), coords=coords, chain_id=self.chain_id
+        )

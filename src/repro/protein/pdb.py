@@ -1,0 +1,198 @@
+"""Minimal PDB reading and writing.
+
+Only the subset needed for loop modelling is supported: backbone heavy atoms
+(N, CA, C, O) in ``ATOM`` records, plus ``HETATM`` records read back as
+environment atoms.  Decoys can be exported for visual inspection with any
+molecular viewer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro import constants
+from repro.protein.chain import BackboneChain
+from repro.protein.residue import Residue
+from repro.protein.structure import Atom, ProteinStructure
+
+__all__ = ["read_pdb", "write_pdb", "loop_to_pdb", "format_atom_line"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def format_atom_line(
+    serial: int,
+    name: str,
+    res_name: str,
+    chain_id: str,
+    res_seq: int,
+    xyz: Iterable[float],
+    element: str = "",
+    record: str = "ATOM",
+) -> str:
+    """Format one fixed-width PDB ATOM/HETATM line."""
+    x, y, z = (float(v) for v in xyz)
+    atom_name = f" {name:<3}" if len(name) < 4 else name[:4]
+    element = element or name[0]
+    return (
+        f"{record:<6}{serial:>5} {atom_name:<4}{'':1}{res_name:>3} {chain_id:1}"
+        f"{res_seq:>4}{'':1}   {x:>8.3f}{y:>8.3f}{z:>8.3f}{1.0:>6.2f}{0.0:>6.2f}"
+        f"          {element:>2}"
+    )
+
+
+def write_pdb(structure: ProteinStructure, path: PathLike) -> None:
+    """Write a :class:`ProteinStructure` to a PDB file."""
+    lines: List[str] = []
+    serial = 1
+    for chain in structure.chains.values():
+        if chain.coords is None:
+            continue
+        for i, res in enumerate(chain.residues):
+            for a, atom_name in enumerate(constants.BACKBONE_ATOM_NAMES):
+                lines.append(
+                    format_atom_line(
+                        serial,
+                        atom_name,
+                        res.three_letter,
+                        chain.chain_id,
+                        res.index + 1,
+                        chain.coords[i, a],
+                    )
+                )
+                serial += 1
+        lines.append(f"TER   {serial:>5}")
+        serial += 1
+    for atom in structure.hetero_atoms:
+        lines.append(
+            format_atom_line(
+                serial,
+                atom.name,
+                atom.residue_name,
+                atom.chain_id,
+                atom.residue_index + 1,
+                atom.position,
+                element=atom.element,
+                record="HETATM",
+            )
+        )
+        serial += 1
+    lines.append("END")
+    with open(path, "w", encoding="utf8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def _parse_atom_line(line: str) -> Tuple[str, str, str, int, np.ndarray]:
+    name = line[12:16].strip()
+    res_name = line[17:20].strip()
+    chain_id = line[21].strip() or "A"
+    res_seq = int(line[22:26])
+    xyz = np.array(
+        [float(line[30:38]), float(line[38:46]), float(line[46:54])], dtype=np.float64
+    )
+    return name, res_name, chain_id, res_seq, xyz
+
+
+def read_pdb(path: PathLike, name: str = "") -> ProteinStructure:
+    """Read a PDB file into a :class:`ProteinStructure`.
+
+    Only backbone heavy atoms are kept per residue; residues missing any of
+    N/CA/C/O are dropped.  ``HETATM`` records become hetero (environment)
+    atoms.
+    """
+    per_chain: Dict[str, Dict[int, Dict[str, np.ndarray]]] = {}
+    res_names: Dict[Tuple[str, int], str] = {}
+    hetero: List[Atom] = []
+
+    with open(path, "r", encoding="utf8") as handle:
+        for line in handle:
+            record = line[:6].strip()
+            if record == "ATOM":
+                atom_name, res_name, chain_id, res_seq, xyz = _parse_atom_line(line)
+                if atom_name not in constants.BACKBONE_ATOM_INDEX:
+                    continue
+                per_chain.setdefault(chain_id, {}).setdefault(res_seq, {})[
+                    atom_name
+                ] = xyz
+                res_names[(chain_id, res_seq)] = res_name
+            elif record == "HETATM":
+                atom_name, res_name, chain_id, res_seq, xyz = _parse_atom_line(line)
+                hetero.append(
+                    Atom(
+                        name=atom_name,
+                        residue_name=res_name,
+                        residue_index=res_seq - 1,
+                        chain_id=chain_id,
+                        position=(float(xyz[0]), float(xyz[1]), float(xyz[2])),
+                    )
+                )
+
+    structure = ProteinStructure(name=name or os.path.basename(str(path)))
+    for chain_id, residues in per_chain.items():
+        indices = sorted(residues)
+        kept: List[Residue] = []
+        coords: List[np.ndarray] = []
+        for res_seq in indices:
+            atoms = residues[res_seq]
+            if not all(a in atoms for a in constants.BACKBONE_ATOM_NAMES):
+                continue
+            res_name = res_names[(chain_id, res_seq)]
+            aa = constants.THREE_TO_ONE.get(res_name, "A")
+            kept.append(Residue(index=res_seq - 1, aa=aa))
+            coords.append(
+                np.stack([atoms[a] for a in constants.BACKBONE_ATOM_NAMES])
+            )
+        if kept:
+            chain = BackboneChain(residues=kept, chain_id=chain_id)
+            chain.set_coords(np.stack(coords))
+            structure.add_chain(chain)
+    structure.hetero_atoms.extend(hetero)
+    return structure
+
+
+def loop_to_pdb(
+    coords: np.ndarray,
+    sequence: str,
+    path: PathLike,
+    chain_id: str = "L",
+    start_index: int = 0,
+    environment: Optional[np.ndarray] = None,
+) -> None:
+    """Write a single loop conformation (and optional environment) as PDB.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 4, 3)`` backbone coordinates of the loop.
+    sequence:
+        One-letter loop sequence of length ``n``.
+    path:
+        Output file path.
+    environment:
+        Optional ``(M, 3)`` pseudo-atom coordinates written as ``HETATM``
+        carbon records, useful for visual inspection of the packing.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape[0] != len(sequence):
+        raise ValueError("coords and sequence length mismatch")
+    structure = ProteinStructure(name="loop")
+    chain = BackboneChain.from_sequence(
+        sequence, coords=coords, chain_id=chain_id, start_index=start_index
+    )
+    structure.add_chain(chain)
+    if environment is not None:
+        for i, pos in enumerate(np.asarray(environment, dtype=np.float64)):
+            structure.add_hetero_atom(
+                Atom(
+                    name="C",
+                    residue_name="ENV",
+                    residue_index=i,
+                    chain_id="E",
+                    position=(float(pos[0]), float(pos[1]), float(pos[2])),
+                    element="C",
+                )
+            )
+    write_pdb(structure, path)

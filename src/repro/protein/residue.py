@@ -1,0 +1,94 @@
+"""Residue-level data: identity, torsion-relevant class and centroid geometry."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import constants
+
+__all__ = ["ResidueType", "Residue", "residue_type", "validate_sequence"]
+
+
+class ResidueType(enum.Enum):
+    """Coarse residue classes used by the triplet torsion potential.
+
+    The triplet scoring function conditions the phi/psi distribution of a
+    residue on the conformational classes of its neighbours; glycine and
+    proline have distinctive Ramachandran distributions, every other residue
+    behaves similarly at the backbone level.
+    """
+
+    GENERIC = 0
+    GLYCINE = 1
+    PROLINE = 2
+
+
+def residue_type(aa: str) -> ResidueType:
+    """Map a one-letter amino-acid code to its torsion class."""
+    if aa == "G":
+        return ResidueType.GLYCINE
+    if aa == "P":
+        return ResidueType.PROLINE
+    if aa in constants.AA_INDEX:
+        return ResidueType.GENERIC
+    raise ValueError(f"unknown amino acid code: {aa!r}")
+
+
+def validate_sequence(sequence: str) -> str:
+    """Validate a one-letter amino-acid sequence, returning it upper-cased."""
+    seq = sequence.upper()
+    for aa in seq:
+        if aa not in constants.AA_INDEX:
+            raise ValueError(f"unknown amino acid code in sequence: {aa!r}")
+    return seq
+
+
+@dataclass(frozen=True)
+class Residue:
+    """A single residue: identity plus derived scoring parameters.
+
+    Attributes
+    ----------
+    index:
+        Residue number within its chain (0-based).
+    aa:
+        One-letter amino-acid code.
+    """
+
+    index: int
+    aa: str
+
+    def __post_init__(self) -> None:
+        if self.aa not in constants.AA_INDEX:
+            raise ValueError(f"unknown amino acid code: {self.aa!r}")
+
+    @property
+    def three_letter(self) -> str:
+        """Three-letter residue name (e.g. ``ALA``)."""
+        return constants.ONE_TO_THREE[self.aa]
+
+    @property
+    def type(self) -> ResidueType:
+        """The coarse torsion class of this residue."""
+        return residue_type(self.aa)
+
+    @property
+    def centroid_distance(self) -> float:
+        """Distance (A) from CA to the side-chain centroid pseudo-atom."""
+        return constants.CENTROID_DISTANCE[self.aa]
+
+    @property
+    def centroid_radius(self) -> float:
+        """Soft-sphere radius (A) of the side-chain centroid pseudo-atom."""
+        return constants.CENTROID_RADIUS[self.aa]
+
+    @property
+    def has_centroid(self) -> bool:
+        """Whether the residue carries a side-chain centroid (glycine does not)."""
+        return self.centroid_distance > 0.0
+
+    def with_index(self, index: int) -> "Residue":
+        """Return a copy renumbered to ``index``."""
+        return Residue(index=index, aa=self.aa)

@@ -1,0 +1,118 @@
+"""Whole-structure container: backbone chains plus arbitrary environment atoms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.protein.chain import BackboneChain
+
+__all__ = ["Atom", "ProteinStructure"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom record (used for environment atoms and PDB I/O)."""
+
+    name: str
+    residue_name: str
+    residue_index: int
+    chain_id: str
+    position: Tuple[float, float, float]
+    element: str = ""
+
+    @property
+    def radius(self) -> float:
+        """Soft-sphere radius of this atom (falls back to a generic 1.7 A)."""
+        return constants.VDW_RADIUS.get(self.name, 1.7)
+
+
+@dataclass
+class ProteinStructure:
+    """A protein structure: named chains plus free-standing environment atoms.
+
+    The loop-modelling code mostly consumes the *environment view*: the
+    coordinates and radii of every atom that is not part of the loop being
+    rebuilt, used by the soft-sphere scoring function to detect clashes
+    between the loop and the rest of the protein.
+    """
+
+    chains: Dict[str, BackboneChain] = field(default_factory=dict)
+    hetero_atoms: List[Atom] = field(default_factory=list)
+    name: str = ""
+
+    def add_chain(self, chain: BackboneChain) -> None:
+        """Register a chain under its chain identifier."""
+        if chain.chain_id in self.chains:
+            raise ValueError(f"duplicate chain id {chain.chain_id!r}")
+        self.chains[chain.chain_id] = chain
+
+    def add_hetero_atom(self, atom: Atom) -> None:
+        """Add a free-standing atom (ligand, ion, pseudo-atom)."""
+        self.hetero_atoms.append(atom)
+
+    @property
+    def n_residues(self) -> int:
+        """Total number of residues across all chains."""
+        return sum(len(chain) for chain in self.chains.values())
+
+    @property
+    def n_atoms(self) -> int:
+        """Total number of atoms (backbone + hetero)."""
+        backbone = sum(
+            0 if chain.coords is None else chain.coords.shape[0] * chain.coords.shape[1]
+            for chain in self.chains.values()
+        )
+        return backbone + len(self.hetero_atoms)
+
+    def environment_view(
+        self,
+        exclude_chain: Optional[str] = None,
+        exclude_residues: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Coordinates and radii of every atom outside an excluded loop region.
+
+        Parameters
+        ----------
+        exclude_chain:
+            Chain holding the loop being remodelled.
+        exclude_residues:
+            Half-open residue-index interval ``(start, end)`` within the
+            excluded chain whose atoms are dropped from the environment.
+
+        Returns
+        -------
+        (coords, radii)
+            ``(M, 3)`` coordinates and ``(M,)`` radii.
+        """
+        coords_list: List[np.ndarray] = []
+        radii_list: List[np.ndarray] = []
+
+        for chain_id, chain in self.chains.items():
+            if chain.coords is None:
+                continue
+            mask = np.ones(len(chain), dtype=bool)
+            if chain_id == exclude_chain and exclude_residues is not None:
+                start, end = exclude_residues
+                for i, res in enumerate(chain.residues):
+                    if start <= res.index < end:
+                        mask[i] = False
+            kept = chain.coords[mask].reshape(-1, 3)
+            coords_list.append(kept)
+            atom_radii = np.array(
+                [constants.VDW_RADIUS[a] for a in constants.BACKBONE_ATOM_NAMES]
+            )
+            radii_list.append(np.tile(atom_radii, int(mask.sum())))
+
+        if self.hetero_atoms:
+            coords_list.append(
+                np.array([atom.position for atom in self.hetero_atoms], dtype=np.float64)
+            )
+            radii_list.append(np.array([atom.radius for atom in self.hetero_atoms]))
+
+        if not coords_list:
+            return np.zeros((0, 3)), np.zeros((0,))
+        return np.concatenate(coords_list), np.concatenate(radii_list)

@@ -1,0 +1,63 @@
+"""The three backbone scoring functions of the paper plus supporting machinery.
+
+* :class:`~repro.scoring.triplet.TripletScore` — triplet torsion-angle
+  statistical potential (paper ref [7]).
+* :class:`~repro.scoring.distance.DistanceScore` — atom pair-wise
+  distance-based knowledge potential (paper ref [6]).
+* :class:`~repro.scoring.vdw.SoftSphereVDW` — soft-sphere van der Waals
+  clash score against the loop itself and the protein environment
+  (paper ref [8]).
+
+All three are *backbone* scores with side chains represented implicitly
+(through centroids or through statistics), evaluate quickly, and measure
+loop favourability through different physics — the properties the paper
+gives for selecting them.
+"""
+
+from repro.scoring.base import MultiScore, ScoringFunction
+from repro.scoring.knowledge import (
+    KnowledgeBase,
+    build_knowledge_base,
+    default_knowledge_base,
+)
+from repro.scoring.triplet import TripletScore
+from repro.scoring.distance import DistanceScore
+from repro.scoring.vdw import SoftSphereVDW
+from repro.scoring.composite import WeightedSumScore
+from repro.scoring.normalization import normalize_scores, score_ranges
+
+__all__ = [
+    "ScoringFunction",
+    "MultiScore",
+    "KnowledgeBase",
+    "build_knowledge_base",
+    "default_knowledge_base",
+    "TripletScore",
+    "DistanceScore",
+    "SoftSphereVDW",
+    "WeightedSumScore",
+    "normalize_scores",
+    "score_ranges",
+    "default_multi_score",
+]
+
+
+def default_multi_score(target, knowledge_base=None) -> MultiScore:
+    """The paper's scoring-function set (VDW, TRIPLET, DIST) for a target.
+
+    Parameters
+    ----------
+    target:
+        A :class:`repro.loops.loop.LoopTarget`.
+    knowledge_base:
+        Optional pre-built :class:`KnowledgeBase`; the default synthetic one
+        is used otherwise.
+    """
+    kb = knowledge_base if knowledge_base is not None else default_knowledge_base()
+    return MultiScore(
+        [
+            SoftSphereVDW(target),
+            TripletScore(target, kb),
+            DistanceScore(target, kb),
+        ]
+    )

@@ -1,0 +1,55 @@
+"""Weighted-sum composite score.
+
+The paper contrasts multi-scoring-function *sampling* with the traditional
+approach of globally optimising a single (possibly composite) scoring
+function (Section II).  :class:`WeightedSumScore` is that traditional
+single-objective baseline: a fixed linear combination of the individual
+scoring functions, used by :mod:`repro.moscem.baseline` and by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.scoring.base import MultiScore, ScoringFunction
+
+__all__ = ["WeightedSumScore"]
+
+
+class WeightedSumScore(ScoringFunction):
+    """A single scalar score formed as a weighted sum of member scores."""
+
+    name = "COMPOSITE"
+    kernel_name = "EvalComposite"
+    registers_per_thread = 32
+
+    def __init__(
+        self,
+        multi_score: MultiScore,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.multi_score = multi_score
+        k = len(multi_score)
+        if weights is None:
+            weights = np.ones(k, dtype=np.float64) / k
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (k,):
+            raise ValueError(f"weights must have shape ({k},), got {weights.shape}")
+        if np.any(weights < 0.0):
+            raise ValueError("weights must be non-negative")
+        if weights.sum() <= 0.0:
+            raise ValueError("at least one weight must be positive")
+        self.weights = weights
+
+    def evaluate(self, coords: np.ndarray, torsions: np.ndarray) -> float:
+        """Weighted sum of the member scores for one conformation."""
+        scores = self.multi_score.evaluate(coords, torsions)
+        return float(np.dot(self.weights, scores))
+
+    def evaluate_batch(self, coords: np.ndarray, torsions: np.ndarray) -> np.ndarray:
+        """Weighted sum of the member scores for a population."""
+        scores = self.multi_score.evaluate_batch(coords, torsions)
+        return scores @ self.weights

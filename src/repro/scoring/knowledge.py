@@ -1,0 +1,205 @@
+"""Knowledge-base tables for the TRIPLET and DIST potentials.
+
+The paper's knowledge-based scoring functions are ``-log`` frequency tables
+pre-computed from a structural database and loaded into GPU texture memory
+at program start.  This module builds the equivalent tables from the
+synthetic loop library (:mod:`repro.loops.library`):
+
+* **Triplet tables** — for each of the 27 residue-type triplets
+  (GENERIC/GLY/PRO for the previous, current and next residue), a 2-D
+  histogram over (phi, psi) bins of the central residue.
+* **Distance tables** — for each backbone atom-type pair (N/CA/C/O, 10
+  unordered pairs) and sequence-separation class, a histogram over
+  pair-distance bins, normalised by the pooled reference distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations_with_replacement
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.loops.library import LoopLibrary, default_library
+from repro.protein.residue import ResidueType, residue_type
+
+__all__ = [
+    "KnowledgeBase",
+    "build_knowledge_base",
+    "default_knowledge_base",
+    "TORSION_BINS",
+    "DISTANCE_BINS",
+    "DISTANCE_MAX",
+    "SEPARATION_CLASSES",
+    "atom_pair_index",
+    "separation_class",
+    "triplet_class_index",
+]
+
+#: Number of bins per torsion axis (15-degree bins).
+TORSION_BINS: int = 24
+
+#: Number of distance bins for the pairwise potential.
+DISTANCE_BINS: int = 30
+
+#: Maximum distance (A) covered by the pairwise histograms.
+DISTANCE_MAX: float = 15.0
+
+#: Sequence-separation classes: |i-j| == 1, == 2, == 3, >= 4.
+SEPARATION_CLASSES: int = 4
+
+#: Pseudo-count added to every histogram bin before normalisation.
+_PSEUDOCOUNT: float = 0.5
+
+_N_ATOM_TYPES = len(constants.BACKBONE_ATOM_NAMES)
+_PAIRS = list(combinations_with_replacement(range(_N_ATOM_TYPES), 2))
+_PAIR_LOOKUP: Dict[Tuple[int, int], int] = {}
+for _idx, (_a, _b) in enumerate(_PAIRS):
+    _PAIR_LOOKUP[(_a, _b)] = _idx
+    _PAIR_LOOKUP[(_b, _a)] = _idx
+
+#: Number of unordered backbone atom-type pairs.
+N_ATOM_PAIRS: int = len(_PAIRS)
+
+#: Number of residue-type triplet classes (3 types ** 3 positions).
+N_TRIPLET_CLASSES: int = len(ResidueType) ** 3
+
+
+def atom_pair_index(a: int, b: int) -> int:
+    """Index of the unordered backbone atom-type pair (N/CA/C/O indices)."""
+    return _PAIR_LOOKUP[(a, b)]
+
+
+def separation_class(sep: int) -> int:
+    """Sequence-separation class for |i - j| = ``sep`` residues."""
+    if sep < 1:
+        raise ValueError("separation must be >= 1")
+    return min(sep, SEPARATION_CLASSES) - 1
+
+
+def triplet_class_index(prev_aa: str, cur_aa: str, next_aa: str) -> int:
+    """Class index of a residue triplet from one-letter codes."""
+    p = residue_type(prev_aa).value
+    c = residue_type(cur_aa).value
+    n = residue_type(next_aa).value
+    base = len(ResidueType)
+    return (p * base + c) * base + n
+
+
+def torsion_bin(angles: np.ndarray) -> np.ndarray:
+    """Map angles (radians, any range) to torsion histogram bins [0, TORSION_BINS)."""
+    angles = np.asarray(angles, dtype=np.float64)
+    frac = (angles + np.pi) / (2.0 * np.pi)
+    bins = np.floor(frac * TORSION_BINS).astype(np.int64)
+    return np.clip(bins, 0, TORSION_BINS - 1)
+
+
+def distance_bin(distances: np.ndarray) -> np.ndarray:
+    """Map distances (A) to distance histogram bins [0, DISTANCE_BINS)."""
+    distances = np.asarray(distances, dtype=np.float64)
+    bins = np.floor(distances / DISTANCE_MAX * DISTANCE_BINS).astype(np.int64)
+    return np.clip(bins, 0, DISTANCE_BINS - 1)
+
+
+@dataclass(frozen=True)
+class KnowledgeBase:
+    """Pre-computed ``-log`` probability tables for TRIPLET and DIST.
+
+    Attributes
+    ----------
+    triplet_neg_log:
+        ``(N_TRIPLET_CLASSES, TORSION_BINS, TORSION_BINS)`` negative log
+        probability of a (phi, psi) bin given the triplet class.
+    distance_neg_log:
+        ``(N_ATOM_PAIRS, SEPARATION_CLASSES, DISTANCE_BINS)`` negative log
+        ratio of the observed pair-distance distribution to the pooled
+        reference distribution.
+    library_size:
+        Number of loops in the library the tables were derived from.
+    """
+
+    triplet_neg_log: np.ndarray
+    distance_neg_log: np.ndarray
+    library_size: int
+
+    def __post_init__(self) -> None:
+        expected_t = (N_TRIPLET_CLASSES, TORSION_BINS, TORSION_BINS)
+        expected_d = (N_ATOM_PAIRS, SEPARATION_CLASSES, DISTANCE_BINS)
+        if self.triplet_neg_log.shape != expected_t:
+            raise ValueError(f"triplet table shape {self.triplet_neg_log.shape} != {expected_t}")
+        if self.distance_neg_log.shape != expected_d:
+            raise ValueError(f"distance table shape {self.distance_neg_log.shape} != {expected_d}")
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the tables in bytes (what the paper keeps in texture memory)."""
+        return self.triplet_neg_log.nbytes + self.distance_neg_log.nbytes
+
+
+def build_knowledge_base(library: LoopLibrary) -> KnowledgeBase:
+    """Derive the TRIPLET and DIST tables from a loop library."""
+    if len(library) == 0:
+        raise ValueError("cannot build a knowledge base from an empty library")
+
+    # ------------------------------------------------------------------
+    # Triplet torsion histograms.
+    # ------------------------------------------------------------------
+    triplet_counts = np.full(
+        (N_TRIPLET_CLASSES, TORSION_BINS, TORSION_BINS), _PSEUDOCOUNT, dtype=np.float64
+    )
+    for record in library:
+        seq = record.sequence
+        torsions = record.torsions
+        n = len(seq)
+        for i in range(n):
+            prev_aa = seq[i - 1] if i > 0 else seq[i]
+            next_aa = seq[i + 1] if i + 1 < n else seq[i]
+            cls = triplet_class_index(prev_aa, seq[i], next_aa)
+            pb = int(torsion_bin(np.array([torsions[2 * i]]))[0])
+            sb = int(torsion_bin(np.array([torsions[2 * i + 1]]))[0])
+            triplet_counts[cls, pb, sb] += 1.0
+
+    triplet_prob = triplet_counts / triplet_counts.sum(axis=(1, 2), keepdims=True)
+    triplet_neg_log = -np.log(triplet_prob)
+
+    # ------------------------------------------------------------------
+    # Pairwise distance histograms.
+    # ------------------------------------------------------------------
+    dist_counts = np.full(
+        (N_ATOM_PAIRS, SEPARATION_CLASSES, DISTANCE_BINS), _PSEUDOCOUNT, dtype=np.float64
+    )
+    reference_counts = np.full(DISTANCE_BINS, _PSEUDOCOUNT, dtype=np.float64)
+
+    for record in library:
+        coords = record.coords  # (n, 4, 3)
+        n = coords.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                sep_cls = separation_class(j - i)
+                diff = coords[i][:, None, :] - coords[j][None, :, :]
+                dists = np.sqrt(np.sum(diff * diff, axis=-1))  # (4, 4)
+                bins = distance_bin(dists)
+                for a in range(_N_ATOM_TYPES):
+                    for b in range(_N_ATOM_TYPES):
+                        pair = atom_pair_index(a, b)
+                        dist_counts[pair, sep_cls, bins[a, b]] += 1.0
+                        reference_counts[bins[a, b]] += 1.0
+
+    dist_prob = dist_counts / dist_counts.sum(axis=2, keepdims=True)
+    reference_prob = reference_counts / reference_counts.sum()
+    distance_neg_log = -np.log(dist_prob / reference_prob[None, None, :])
+
+    return KnowledgeBase(
+        triplet_neg_log=triplet_neg_log,
+        distance_neg_log=distance_neg_log,
+        library_size=len(library),
+    )
+
+
+@lru_cache(maxsize=2)
+def default_knowledge_base(seed: int = 2010, n_loops: int = 400) -> KnowledgeBase:
+    """The knowledge base built from the default synthetic library (cached)."""
+    return build_knowledge_base(default_library(seed=seed, n_loops=n_loops))

@@ -1,0 +1,41 @@
+"""Score normalisation helpers.
+
+Figure 5 of the paper plots the non-dominated conformations on normalised
+score axes (each scoring function min-max scaled to [0, 1] over the plotted
+set).  These helpers implement that normalisation plus simple range
+summaries used by the reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["normalize_scores", "score_ranges"]
+
+
+def normalize_scores(scores: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Min-max normalise each score column to [0, 1].
+
+    Columns with zero spread (all values identical) map to 0.0, so perfectly
+    flat objectives do not produce NaNs.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    lo = scores.min(axis=axis, keepdims=True)
+    hi = scores.max(axis=axis, keepdims=True)
+    span = hi - lo
+    span = np.where(span <= 0.0, 1.0, span)
+    out = (scores - lo) / span
+    return np.where(hi - lo <= 0.0, 0.0, out)
+
+
+def score_ranges(scores: np.ndarray, names: Sequence[str]) -> Dict[str, Tuple[float, float]]:
+    """Per-objective (min, max) ranges, keyed by scoring-function name."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[1] != len(names):
+        raise ValueError("scores must have shape (P, K) with K == len(names)")
+    return {
+        name: (float(scores[:, k].min()), float(scores[:, k].max()))
+        for k, name in enumerate(names)
+    }

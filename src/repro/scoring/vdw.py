@@ -1,0 +1,199 @@
+"""Soft-sphere van der Waals scoring function ([VDW], paper ref [8]).
+
+Estimates the degree of steric clashes:
+
+* among the loop backbone atoms themselves,
+* between loop backbone atoms and side-chain centroid pseudo-atoms,
+* among the centroids,
+* and between all of the above and the atoms of the rest of the protein
+  (the *environment*),
+
+by summing a soft overlap penalty ``((r0^2 - d^2) / r0^2)^2`` over every
+pair closer than its contact distance ``r0`` (a tolerance fraction of the
+sum of radii).  This mirrors the atom-atom / atom-centroid /
+centroid-centroid decomposition described in Section III.B of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.loops.loop import LoopTarget
+from repro.scoring.base import ScoringFunction
+
+__all__ = ["SoftSphereVDW", "soft_sphere_penalty"]
+
+
+def soft_sphere_penalty(distances: np.ndarray, contact: np.ndarray) -> np.ndarray:
+    """Soft-sphere overlap penalty for distances below the contact radius.
+
+    ``((r0^2 - d^2) / r0^2)^2`` for ``d < r0``, zero otherwise.  Fully
+    vectorised; ``distances`` and ``contact`` must broadcast together.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    contact = np.asarray(contact, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        overlap = (contact * contact - distances * distances) / np.where(
+            contact > 0.0, contact * contact, 1.0
+        )
+    overlap = np.where((distances < contact) & (contact > 0.0), overlap, 0.0)
+    return overlap * overlap
+
+
+class SoftSphereVDW(ScoringFunction):
+    """Soft-sphere clash score bound to one loop target."""
+
+    name = "VDW"
+    kernel_name = "EvalVDW"
+    #: Registers per thread of the corresponding CUDA kernel (paper Table III).
+    registers_per_thread = 32
+
+    def __init__(
+        self,
+        target: LoopTarget,
+        tolerance: float = constants.SOFT_SPHERE_TOLERANCE,
+        min_residue_separation: int = 2,
+    ) -> None:
+        if not (0.0 < tolerance <= 1.0):
+            raise ValueError("tolerance must be in (0, 1]")
+        if min_residue_separation < 1:
+            raise ValueError("min_residue_separation must be >= 1")
+        self.target = target
+        self.tolerance = tolerance
+        self.min_residue_separation = min_residue_separation
+
+        n = target.n_residues
+        n_types = constants.BACKBONE_ATOMS_PER_RESIDUE
+
+        # Radii of the loop backbone atoms, flattened residue-major.
+        atom_radii = np.array(
+            [constants.VDW_RADIUS[a] for a in constants.BACKBONE_ATOM_NAMES]
+        )
+        self._loop_radii = np.tile(atom_radii, n)  # (n*4,)
+        self._loop_residue = np.repeat(np.arange(n), n_types)  # (n*4,)
+
+        # Centroid parameters per residue.
+        self._centroid_dist = target.centroid_distances  # (n,)
+        self._centroid_radii = target.centroid_radii  # (n,)
+        self._has_centroid = self._centroid_dist > 0.0
+
+        # Intra-loop atom-atom pairs with sufficient residue separation.
+        first, second = np.triu_indices(n * n_types, k=1)
+        sep_ok = (
+            np.abs(self._loop_residue[first] - self._loop_residue[second])
+            >= self.min_residue_separation
+        )
+        self._aa_first = first[sep_ok]
+        self._aa_second = second[sep_ok]
+        self._aa_contact = self.tolerance * (
+            self._loop_radii[self._aa_first] + self._loop_radii[self._aa_second]
+        )
+
+        # Intra-loop centroid-centroid pairs.
+        cf, cs = np.triu_indices(n, k=1)
+        sep_ok = (cs - cf) >= self.min_residue_separation
+        both = self._has_centroid[cf] & self._has_centroid[cs]
+        keep = sep_ok & both
+        self._cc_first = cf[keep]
+        self._cc_second = cs[keep]
+        self._cc_contact = self.tolerance * (
+            self._centroid_radii[self._cc_first] + self._centroid_radii[self._cc_second]
+        )
+
+        # Intra-loop atom-centroid pairs.
+        atom_idx, cen_idx = np.meshgrid(
+            np.arange(n * n_types), np.arange(n), indexing="ij"
+        )
+        atom_idx = atom_idx.ravel()
+        cen_idx = cen_idx.ravel()
+        sep_ok = (
+            np.abs(self._loop_residue[atom_idx] - cen_idx)
+            >= self.min_residue_separation
+        )
+        keep = sep_ok & self._has_centroid[cen_idx]
+        self._ac_atom = atom_idx[keep]
+        self._ac_cen = cen_idx[keep]
+        self._ac_contact = self.tolerance * (
+            self._loop_radii[self._ac_atom] + self._centroid_radii[self._ac_cen]
+        )
+
+        # Environment atoms (coordinates fixed for the whole run).
+        self._env_coords = target.environment_coords  # (M, 3)
+        self._env_radii = target.environment_radii  # (M,)
+        self._env_atom_contact = self.tolerance * (
+            self._loop_radii[:, None] + self._env_radii[None, :]
+        )  # (n*4, M)
+        self._env_cen_contact = self.tolerance * (
+            self._centroid_radii[:, None] + self._env_radii[None, :]
+        )  # (n, M)
+        self._env_cen_contact[~self._has_centroid, :] = 0.0
+
+    # ------------------------------------------------------------------
+    # Centroid construction
+    # ------------------------------------------------------------------
+
+    def _centroids(self, coords: np.ndarray) -> np.ndarray:
+        """Side-chain centroid positions for coords of shape ``(..., n, 4, 3)``."""
+        n_atoms = coords[..., 0, :]
+        ca = coords[..., 1, :]
+        c_atoms = coords[..., 2, :]
+        away = ca - 0.5 * (n_atoms + c_atoms)
+        norms = np.linalg.norm(away, axis=-1, keepdims=True)
+        norms = np.where(norms < 1e-9, 1.0, norms)
+        away = away / norms
+        return ca + away * self._centroid_dist[..., :, None]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, coords: np.ndarray, torsions: np.ndarray) -> float:
+        """Total clash penalty of one conformation."""
+        coords = np.asarray(coords, dtype=np.float64)
+        return float(self.evaluate_batch(coords[None], None)[0])
+
+    def evaluate_batch(self, coords: np.ndarray, torsions: np.ndarray) -> np.ndarray:
+        """Total clash penalty of every population member."""
+        coords = np.asarray(coords, dtype=np.float64)
+        pop = coords.shape[0]
+        flat = coords.reshape(pop, -1, 3)  # (P, n*4, 3)
+        centroids = self._centroids(coords)  # (P, n, 3)
+
+        total = np.zeros(pop, dtype=np.float64)
+
+        # Loop atom - loop atom.
+        if self._aa_first.size:
+            diff = flat[:, self._aa_first, :] - flat[:, self._aa_second, :]
+            dists = np.sqrt(np.sum(diff * diff, axis=-1))
+            total += soft_sphere_penalty(dists, self._aa_contact[None, :]).sum(axis=1)
+
+        # Centroid - centroid.
+        if self._cc_first.size:
+            diff = centroids[:, self._cc_first, :] - centroids[:, self._cc_second, :]
+            dists = np.sqrt(np.sum(diff * diff, axis=-1))
+            total += soft_sphere_penalty(dists, self._cc_contact[None, :]).sum(axis=1)
+
+        # Loop atom - centroid.
+        if self._ac_atom.size:
+            diff = flat[:, self._ac_atom, :] - centroids[:, self._ac_cen, :]
+            dists = np.sqrt(np.sum(diff * diff, axis=-1))
+            total += soft_sphere_penalty(dists, self._ac_contact[None, :]).sum(axis=1)
+
+        # Loop atoms / centroids against the protein environment.
+        if self._env_coords.size:
+            diff = flat[:, :, None, :] - self._env_coords[None, None, :, :]
+            dists = np.sqrt(np.sum(diff * diff, axis=-1))  # (P, n*4, M)
+            total += soft_sphere_penalty(dists, self._env_atom_contact[None]).sum(
+                axis=(1, 2)
+            )
+
+            diff = centroids[:, :, None, :] - self._env_coords[None, None, :, :]
+            dists = np.sqrt(np.sum(diff * diff, axis=-1))  # (P, n, M)
+            total += soft_sphere_penalty(dists, self._env_cen_contact[None]).sum(
+                axis=(1, 2)
+            )
+
+        return total

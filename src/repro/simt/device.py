@@ -1,0 +1,85 @@
+"""Device specification for the simulated SIMT platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "GTX280"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Resource envelope of a CUDA-like device.
+
+    The default values of :data:`GTX280` follow the hardware description in
+    Section IV.A of the paper: 30 multiprocessors of 8 scalar processors
+    each (240 cores), 16K registers and 16KB shared memory per
+    multiprocessor, 64KB constant memory, blocks of at most 512 threads.
+    """
+
+    name: str
+    multiprocessors: int
+    cores_per_multiprocessor: int
+    registers_per_multiprocessor: int
+    shared_memory_per_multiprocessor: int
+    constant_memory_bytes: int
+    max_threads_per_block: int
+    max_threads_per_multiprocessor: int
+    max_blocks_per_multiprocessor: int
+    warp_size: int
+    global_memory_bytes: int
+    #: Modelled host-device transfer bandwidth (bytes/second) and latency
+    #: (seconds) used to synthesise memcpy timings in the profiler.
+    transfer_bandwidth: float = 5.0e9
+    transfer_latency: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "multiprocessors",
+            "cores_per_multiprocessor",
+            "registers_per_multiprocessor",
+            "max_threads_per_block",
+            "max_threads_per_multiprocessor",
+            "max_blocks_per_multiprocessor",
+            "warp_size",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of scalar processors on the device."""
+        return self.multiprocessors * self.cores_per_multiprocessor
+
+    @property
+    def max_warps_per_multiprocessor(self) -> int:
+        """Maximum number of resident warps per multiprocessor."""
+        return self.max_threads_per_multiprocessor // self.warp_size
+
+    def max_resident_threads(self) -> int:
+        """Maximum number of threads resident on the whole device."""
+        return self.max_threads_per_multiprocessor * self.multiprocessors
+
+    def blocks_for_population(self, population_size: int, threads_per_block: int) -> int:
+        """Number of thread blocks needed to cover ``population_size`` threads."""
+        if threads_per_block <= 0 or threads_per_block > self.max_threads_per_block:
+            raise ValueError(
+                f"threads_per_block must be in (0, {self.max_threads_per_block}]"
+            )
+        return -(-population_size // threads_per_block)
+
+
+#: The GeForce GTX 280 used in the paper (compute capability 1.3).
+GTX280 = DeviceSpec(
+    name="GeForce GTX 280 (simulated)",
+    multiprocessors=30,
+    cores_per_multiprocessor=8,
+    registers_per_multiprocessor=16384,
+    shared_memory_per_multiprocessor=16 * 1024,
+    constant_memory_bytes=64 * 1024,
+    max_threads_per_block=512,
+    max_threads_per_multiprocessor=1024,
+    max_blocks_per_multiprocessor=8,
+    warp_size=32,
+    global_memory_bytes=1024 * 1024 * 1024,
+)

@@ -1,0 +1,104 @@
+"""CUDA occupancy model (compute capability 1.3).
+
+Reproduces the occupancy figures of the paper's Table III: with 128-thread
+blocks on a GTX 280, a kernel using 32 registers per thread reaches 50%
+occupancy, 20 registers 75%, and 8 or fewer registers 100%.
+
+The model accounts for the three block-residency limits of CC 1.3 hardware:
+registers per multiprocessor, the maximum number of resident blocks, and the
+maximum number of resident threads/warps.  Shared memory is not a limiter
+for these kernels (the paper notes shared memory is not used), but the
+calculation supports it for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simt.device import DeviceSpec, GTX280
+from repro.simt.kernel import KernelSpec
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+#: Register allocation granularity of CC 1.3 devices (registers are
+#: allocated per block in units of this size).
+_REGISTER_ALLOCATION_UNIT = 512
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel."""
+
+    kernel_name: str
+    registers_per_thread: int
+    threads_per_block: int
+    blocks_per_multiprocessor: int
+    active_warps: int
+    max_warps: int
+    limited_by: str
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the multiprocessor's warp slots that are occupied."""
+        return self.active_warps / self.max_warps if self.max_warps else 0.0
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+def occupancy(
+    kernel: KernelSpec,
+    device: DeviceSpec = GTX280,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute the multiprocessor occupancy of ``kernel`` on ``device``."""
+    warps_per_block = -(-kernel.threads_per_block // device.warp_size)
+
+    # Limit 1: registers.
+    registers_per_block = _round_up(
+        kernel.registers_per_thread * kernel.threads_per_block,
+        _REGISTER_ALLOCATION_UNIT,
+    )
+    blocks_by_registers = (
+        device.registers_per_multiprocessor // registers_per_block
+        if registers_per_block > 0
+        else device.max_blocks_per_multiprocessor
+    )
+
+    # Limit 2: resident blocks.
+    blocks_by_hardware = device.max_blocks_per_multiprocessor
+
+    # Limit 3: resident threads/warps.
+    blocks_by_warps = device.max_warps_per_multiprocessor // warps_per_block
+
+    # Limit 4: shared memory (not used by the paper's kernels).
+    if shared_bytes_per_block > 0:
+        blocks_by_shared = device.shared_memory_per_multiprocessor // shared_bytes_per_block
+    else:
+        blocks_by_shared = blocks_by_hardware
+
+    blocks = max(
+        0, min(blocks_by_registers, blocks_by_hardware, blocks_by_warps, blocks_by_shared)
+    )
+    limits = {
+        "registers": blocks_by_registers,
+        "blocks": blocks_by_hardware,
+        "warps": blocks_by_warps,
+        "shared_memory": blocks_by_shared,
+    }
+    limited_by = min(limits, key=lambda k: limits[k])
+
+    active_warps = blocks * warps_per_block
+    max_warps = device.max_warps_per_multiprocessor
+    active_warps = min(active_warps, max_warps)
+
+    return OccupancyResult(
+        kernel_name=kernel.name,
+        registers_per_thread=kernel.registers_per_thread,
+        threads_per_block=kernel.threads_per_block,
+        blocks_per_multiprocessor=blocks,
+        active_warps=active_warps,
+        max_warps=max_warps,
+        limited_by=limited_by,
+    )

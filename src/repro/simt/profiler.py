@@ -1,0 +1,138 @@
+"""Kernel and memcpy profiler (the simulated CUDA Visual Profiler).
+
+Accumulates per-kernel execution time and per-category transfer statistics
+during a GPU-backend run and renders them in the layout of the paper's
+Table II (category, method, number of calls, GPU time, % GPU time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simt.kernel import KernelLaunch, KernelSpec
+from repro.simt.memory import MemcpyKind, TransferRecord
+
+__all__ = ["KernelProfiler", "ProfileRow"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One row of the profiling report."""
+
+    category: str
+    method: str
+    calls: int
+    gpu_seconds: float
+    fraction: float
+
+
+@dataclass
+class KernelProfiler:
+    """Accumulates kernel launches and memory transfers."""
+
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
+    kernel_calls: Dict[str, int] = field(default_factory=dict)
+    launches: List[KernelLaunch] = field(default_factory=list)
+    transfers: Dict[MemcpyKind, TransferRecord] = field(default_factory=dict)
+    keep_launches: bool = False
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_kernel(self, launch: KernelLaunch) -> None:
+        """Record one kernel launch."""
+        name = launch.spec.name
+        self.kernel_seconds[name] = (
+            self.kernel_seconds.get(name, 0.0) + launch.elapsed_seconds
+        )
+        self.kernel_calls[name] = self.kernel_calls.get(name, 0) + 1
+        if self.keep_launches:
+            self.launches.append(launch)
+
+    def record_memcpy(self, kind: MemcpyKind, nbytes: int, seconds: float) -> None:
+        """Record one host/device transfer."""
+        record = self.transfers.setdefault(kind, TransferRecord(kind=kind))
+        record.add(nbytes, seconds)
+
+    def merge(self, other: "KernelProfiler") -> None:
+        """Fold another profiler's statistics into this one."""
+        for name, seconds in other.kernel_seconds.items():
+            self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
+        for name, calls in other.kernel_calls.items():
+            self.kernel_calls[name] = self.kernel_calls.get(name, 0) + calls
+        for kind, record in other.transfers.items():
+            mine = self.transfers.setdefault(kind, TransferRecord(kind=kind))
+            mine.calls += record.calls
+            mine.total_bytes += record.total_bytes
+            mine.total_seconds += record.total_seconds
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_kernel_seconds(self) -> float:
+        """Total time spent inside kernels."""
+        return sum(self.kernel_seconds.values())
+
+    def total_transfer_seconds(self) -> float:
+        """Total time spent in host/device transfers."""
+        return sum(rec.total_seconds for rec in self.transfers.values())
+
+    def total_gpu_seconds(self) -> float:
+        """Total simulated GPU time (kernels + transfers)."""
+        return self.total_kernel_seconds() + self.total_transfer_seconds()
+
+    def rows(self) -> List[ProfileRow]:
+        """Rows of the Table II-style breakdown, sorted by time within category."""
+        total = self.total_gpu_seconds()
+        rows: List[ProfileRow] = []
+        kernel_items = sorted(
+            self.kernel_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )
+        for name, seconds in kernel_items:
+            rows.append(
+                ProfileRow(
+                    category="Kernel",
+                    method=name,
+                    calls=self.kernel_calls.get(name, 0),
+                    gpu_seconds=seconds,
+                    fraction=seconds / total if total > 0 else 0.0,
+                )
+            )
+        transfer_items = sorted(
+            self.transfers.values(), key=lambda rec: rec.total_seconds, reverse=True
+        )
+        for rec in transfer_items:
+            rows.append(
+                ProfileRow(
+                    category="Mem sync",
+                    method=rec.kind.value,
+                    calls=rec.calls,
+                    gpu_seconds=rec.total_seconds,
+                    fraction=rec.total_seconds / total if total > 0 else 0.0,
+                )
+            )
+        return rows
+
+    def kernel_fraction(self, name: str) -> float:
+        """Fraction of total simulated GPU time spent in one kernel."""
+        total = self.total_gpu_seconds()
+        return self.kernel_seconds.get(name, 0.0) / total if total > 0 else 0.0
+
+    def render(self, title: str = "GPU task breakdown") -> str:
+        """Render a plain-text table mirroring the paper's Table II."""
+        lines = [title, "-" * len(title)]
+        lines.append(
+            f"{'Category':<10}{'Method':<32}{'#calls':>8}{'GPU (s)':>12}{'% GPU':>9}"
+        )
+        for row in self.rows():
+            lines.append(
+                f"{row.category:<10}{row.method:<32}{row.calls:>8}"
+                f"{row.gpu_seconds:>12.4f}{100.0 * row.fraction:>8.2f}%"
+            )
+        lines.append(
+            f"{'TOTAL':<10}{'':<32}{'':>8}{self.total_gpu_seconds():>12.4f}{100.0:>8.2f}%"
+        )
+        return "\n".join(lines)

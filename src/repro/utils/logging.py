@@ -1,0 +1,33 @@
+"""Logging helpers: a package-level logger factory with a consistent format."""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Configure the root ``repro`` logger with a stream handler.
+
+    Calling this repeatedly is safe; only one handler is attached.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a child logger of the package logger."""
+    if name is None:
+        return logging.getLogger("repro")
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

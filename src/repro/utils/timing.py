@@ -1,0 +1,146 @@
+"""Wall-clock timing utilities used by the profiling experiments.
+
+The paper profiles the CPU-only implementation (Fig. 1) and the GPU kernels
+(Table II).  :class:`TimingLedger` is the common instrument: code sections
+are timed by name and the ledger can render percentage breakdowns in the
+same style as the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["Stopwatch", "TimingLedger", "TimingRecord"]
+
+
+class Stopwatch:
+    """A simple restartable wall-clock stopwatch."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the accumulated elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the in-progress interval if running."""
+        if self._start is None:
+            return self._elapsed
+        return self._elapsed + (time.perf_counter() - self._start)
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+
+@dataclass
+class TimingRecord:
+    """Accumulated timing for one named section."""
+
+    name: str
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Record one call taking ``seconds``."""
+        self.calls += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean seconds per call (0 when never called)."""
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class TimingLedger:
+    """Accumulates named timing sections and renders breakdown tables."""
+
+    records: Dict[str, TimingRecord] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager timing the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Add ``seconds`` (over ``calls`` calls) to the record for ``name``."""
+        rec = self.records.setdefault(name, TimingRecord(name))
+        rec.calls += calls
+        rec.total_seconds += seconds
+
+    def merge(self, other: "TimingLedger") -> None:
+        """Fold another ledger's records into this one."""
+        for name, rec in other.records.items():
+            self.add(name, rec.total_seconds, rec.calls)
+
+    def total(self) -> float:
+        """Total seconds across every section."""
+        return sum(rec.total_seconds for rec in self.records.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-section fraction of total time (empty ledger -> empty dict)."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self.records}
+        return {
+            name: rec.total_seconds / total for name, rec in self.records.items()
+        }
+
+    def as_rows(self) -> List[Tuple[str, int, float, float]]:
+        """Rows of (name, calls, total_seconds, fraction), sorted by time."""
+        fracs = self.fractions()
+        rows = [
+            (rec.name, rec.calls, rec.total_seconds, fracs[rec.name])
+            for rec in self.records.values()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+    def render(self, title: str = "Timing breakdown") -> str:
+        """Render a plain-text table in the style of the paper's Table II."""
+        lines = [title, "-" * len(title)]
+        lines.append(f"{'section':<28}{'calls':>8}{'seconds':>14}{'% time':>9}")
+        for name, calls, seconds, frac in self.as_rows():
+            lines.append(f"{name:<28}{calls:>8}{seconds:>14.4f}{100.0 * frac:>8.2f}%")
+        lines.append(f"{'TOTAL':<28}{'':>8}{self.total():>14.4f}{100.0:>8.2f}%")
+        return "\n".join(lines)
+
+    def grouped_fractions(self, groups: Mapping[str, str]) -> Dict[str, float]:
+        """Aggregate fractions by mapping section name -> group label.
+
+        Sections not present in ``groups`` are aggregated under ``"other"``.
+        """
+        total = self.total()
+        out: Dict[str, float] = {}
+        for name, rec in self.records.items():
+            label = groups.get(name, "other")
+            out[label] = out.get(label, 0.0) + rec.total_seconds
+        if total > 0.0:
+            out = {k: v / total for k, v in out.items()}
+        return out

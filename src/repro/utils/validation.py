@@ -1,0 +1,55 @@
+"""Lightweight argument validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_angle_array",
+]
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not (0.0 <= float(value) <= 1.0):
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless ``array`` has the given shape.
+
+    ``-1`` entries in ``shape`` match any size along that axis.
+    """
+    arr_shape = np.shape(array)
+    if len(arr_shape) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr_shape}"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr_shape, shape)):
+        if expected != -1 and actual != expected:
+            raise ValueError(
+                f"{name} has size {actual} along axis {axis}, expected {expected}"
+            )
+
+
+def check_angle_array(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate an angle array: finite floats, returned as float64 ndarray."""
+    arr = np.asarray(array, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

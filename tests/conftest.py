@@ -1,0 +1,85 @@
+"""Shared pytest fixtures.
+
+The expensive objects — benchmark targets, the synthetic knowledge base and
+bound scoring functions — are session-scoped so the whole suite builds them
+once.  Tests that need isolation construct their own instances with explicit
+seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig
+from repro.loops.library import LoopLibrary
+from repro.loops.targets import get_target, make_target
+from repro.scoring import MultiScore, default_multi_score
+from repro.scoring.knowledge import build_knowledge_base
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that just need randomness."""
+    return np.random.default_rng(20100419)
+
+
+@pytest.fixture(scope="session")
+def small_target():
+    """A short (6-residue) synthetic loop: cheap enough for per-test sampling."""
+    return make_target("test", 1, 6, seed=123)
+
+
+@pytest.fixture(scope="session")
+def medium_target():
+    """A 10-residue synthetic loop (the paper's shortest benchmark length)."""
+    return make_target("tst2", 10, 19, seed=456)
+
+
+@pytest.fixture(scope="session")
+def paper_target():
+    """One of the paper's named 12-residue targets from the registry."""
+    return get_target("1cex(40:51)")
+
+
+@pytest.fixture(scope="session")
+def buried_target():
+    """The paper's hard, buried target."""
+    return get_target("1xyz(813:824)")
+
+
+@pytest.fixture(scope="session")
+def tiny_library() -> LoopLibrary:
+    """A small synthetic loop library (fast to histogram)."""
+    return LoopLibrary.generate(n_loops=40, lengths=(6, 8), seed=7)
+
+
+@pytest.fixture(scope="session")
+def knowledge_base(tiny_library):
+    """Knowledge base derived from the small library."""
+    return build_knowledge_base(tiny_library)
+
+
+@pytest.fixture(scope="session")
+def small_multi_score(small_target, knowledge_base) -> MultiScore:
+    """The paper's three scoring functions bound to the small target."""
+    return default_multi_score(small_target, knowledge_base=knowledge_base)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SamplingConfig:
+    """A minimal sampling configuration used by end-to-end unit tests."""
+    return SamplingConfig(
+        population_size=16, n_complexes=4, iterations=3, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def small_population(small_target, rng):
+    """A closed, scored population on the small target (GPU backend arrays)."""
+    from repro.closure.ccd import ccd_close_batch
+    from repro.loops.ramachandran import RamachandranModel
+
+    model = RamachandranModel()
+    torsions = model.sample_population(small_target.sequence, 12, np.random.default_rng(3))
+    return ccd_close_batch(torsions, small_target, max_iterations=15, tolerance=0.3)

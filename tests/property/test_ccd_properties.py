@@ -1,0 +1,79 @@
+"""Property-based tests for CCD loop closure.
+
+CCD must never make the closure worse, must respect the per-member start
+indices, and the closed torsions must rebuild exactly the closed
+coordinates (the internal/Cartesian representations stay consistent).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.closure.ccd import ccd_close, ccd_close_batch
+from repro.geometry.vectors import wrap_angle
+from repro.loops.targets import make_target
+
+torsion_angle = st.floats(
+    min_value=-math.pi + 1e-6, max_value=math.pi, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.fixture(scope="module")
+def ccd_target():
+    return make_target("prop", 1, 5, seed=31)
+
+
+@settings(max_examples=15, deadline=None)
+@given(arrays(np.float64, 10, elements=torsion_angle))
+def test_ccd_never_increases_closure_error(torsions):
+    target = make_target("prop", 1, 5, seed=31)
+    _, raw_closure = target.build(torsions)
+    raw_error = target.closure_error(raw_closure)
+    result = ccd_close(torsions, target, max_iterations=10, tolerance=0.2)
+    assert float(result.closure_error) <= raw_error + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(arrays(np.float64, 10, elements=torsion_angle))
+def test_ccd_torsions_and_coordinates_stay_consistent(torsions):
+    target = make_target("prop", 1, 5, seed=31)
+    result = ccd_close(torsions, target, max_iterations=10, tolerance=0.2)
+    coords, closure = target.build(result.torsions)
+    np.testing.assert_allclose(coords, result.coords, atol=1e-6)
+    np.testing.assert_allclose(closure, result.closure, atol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    arrays(np.float64, (4, 10), elements=torsion_angle),
+    st.integers(min_value=0, max_value=9),
+)
+def test_batched_ccd_respects_start_indices(torsions, start):
+    target = make_target("prop", 1, 5, seed=31)
+    starts = np.full(4, start, dtype=np.int64)
+    result = ccd_close_batch(
+        torsions, target, start_indices=starts, max_iterations=8, tolerance=0.2
+    )
+    # Torsions strictly before the start index are never pivoted.
+    if start > 0:
+        np.testing.assert_allclose(
+            wrap_angle(result.torsions[:, :start] - torsions[:, :start]),
+            np.zeros((4, start)),
+            atol=1e-6,
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(arrays(np.float64, (3, 10), elements=torsion_angle))
+def test_batched_ccd_matches_scalar_errors(torsions):
+    target = make_target("prop", 1, 5, seed=31)
+    batch = ccd_close_batch(torsions, target, max_iterations=6, tolerance=1e-9)
+    for i in range(3):
+        scalar = ccd_close(torsions[i], target, max_iterations=6, tolerance=1e-9)
+        assert float(batch.closure_error[i]) == pytest.approx(
+            float(scalar.closure_error), abs=1e-6
+        )

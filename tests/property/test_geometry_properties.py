@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the geometry layer.
+
+These check the algebraic invariants the sampler relies on:
+
+* angle wrapping stays in (-pi, pi] and preserves the angle modulo 2*pi,
+* NeRF building and torsion measurement are exact inverses,
+* batched geometry kernels agree with their scalar counterparts,
+* RMSD behaves like a metric under translation and rigid motion.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.internal import backbone_torsions
+from repro.geometry.nerf import build_backbone, build_backbone_batch
+from repro.geometry.rmsd import coordinate_rmsd, superposed_rmsd
+from repro.geometry.rotation import axis_angle_matrix, random_rotation_matrix
+from repro.geometry.vectors import dihedral_angle, wrap_angle
+from repro.loops.loop import canonical_n_anchor
+
+angles = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+torsion_angle = st.floats(
+    min_value=-math.pi + 1e-6, max_value=math.pi, allow_nan=False, allow_infinity=False
+)
+
+
+@given(angles)
+def test_wrap_angle_range_and_equivalence(angle):
+    wrapped = wrap_angle(angle)
+    assert -math.pi < wrapped <= math.pi
+    assert math.isclose(math.cos(wrapped), math.cos(angle), abs_tol=1e-9)
+    assert math.isclose(math.sin(wrapped), math.sin(angle), abs_tol=1e-9)
+
+
+@given(angles)
+def test_wrap_angle_idempotent(angle):
+    once = wrap_angle(angle)
+    assert wrap_angle(once) == once
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(torsion_angle, min_size=4, max_size=16).filter(lambda x: len(x) % 2 == 0))
+def test_nerf_torsion_round_trip(torsion_list):
+    torsions = np.array(torsion_list)
+    anchor = canonical_n_anchor()
+    coords, closure = build_backbone(torsions, anchor, -1.0)
+    recovered = backbone_torsions(coords, anchor, closure)
+    np.testing.assert_allclose(wrap_angle(recovered - torsions), 0.0, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, (3, 8), elements=torsion_angle),
+)
+def test_batched_build_matches_scalar(torsions):
+    anchor = canonical_n_anchor()
+    batch_coords, batch_closure = build_backbone_batch(torsions, anchor, -0.8)
+    for i in range(torsions.shape[0]):
+        coords, closure = build_backbone(torsions[i], anchor, -0.8)
+        np.testing.assert_allclose(batch_coords[i], coords, atol=1e-9)
+        np.testing.assert_allclose(batch_closure[i], closure, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (7, 3), elements=st.floats(-10, 10)),
+    arrays(np.float64, (3,), elements=st.floats(-5, 5)),
+)
+def test_rmsd_translation_equivariance(coords, shift):
+    rmsd = coordinate_rmsd(coords, coords + shift)
+    assert math.isclose(rmsd, float(np.linalg.norm(shift)), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, (9, 3), elements=st.floats(-10, 10)),
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+def test_superposed_rmsd_invariant_under_rigid_motion(coords, seed):
+    rotation = random_rotation_matrix(np.random.default_rng(seed))
+    moved = coords @ rotation.T + np.array([1.0, -2.0, 0.5])
+    assert superposed_rmsd(moved, coords) <= 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3,), elements=st.floats(-1, 1)).filter(
+        lambda v: np.linalg.norm(v) > 1e-3
+    ),
+    st.floats(min_value=-math.pi, max_value=math.pi),
+)
+def test_rotation_matrices_are_orthonormal(axis, angle):
+    rot = axis_angle_matrix(axis, angle)
+    np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+    assert math.isclose(float(np.linalg.det(rot)), 1.0, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (4, 3), elements=st.floats(-5, 5)),
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+def test_dihedral_invariant_under_rigid_motion(points, seed):
+    a, b, c, d = points
+    # Skip degenerate configurations where the dihedral is undefined.
+    if (
+        np.linalg.norm(b - a) < 1e-3
+        or np.linalg.norm(c - b) < 1e-3
+        or np.linalg.norm(d - c) < 1e-3
+        or np.linalg.norm(np.cross(b - a, c - b)) < 1e-6
+        or np.linalg.norm(np.cross(c - b, d - c)) < 1e-6
+    ):
+        return
+    rotation = random_rotation_matrix(np.random.default_rng(seed))
+    shift = np.array([0.3, -4.0, 2.0])
+    moved = points @ rotation.T + shift
+    original = dihedral_angle(a, b, c, d)
+    transformed = dihedral_angle(*moved)
+    assert abs(wrap_angle(original - transformed)) < 1e-6

@@ -1,0 +1,150 @@
+"""Property-based tests for the MOSCEM machinery and supporting structures.
+
+Invariants covered:
+
+* Pareto dominance is irreflexive/antisymmetric and the strength fitness of
+  Eq. (1) separates the front (fitness < 1) from dominated members (>= 1);
+* complex partitioning is always a permutation of the population;
+* Metropolis acceptance always accepts improvements;
+* decoy sets never store two conformations closer than the distinctness
+  threshold;
+* the soft-sphere penalty is non-negative and monotone in the overlap;
+* min-max normalisation maps every column into [0, 1].
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.clustering import max_torsion_deviation
+from repro.moscem.complexes import assemble_population, partition_population
+from repro.moscem.decoys import DecoySet
+from repro.moscem.dominance import (
+    dominance_matrix,
+    dominates,
+    non_dominated_mask,
+    strength_fitness,
+)
+from repro.moscem.metropolis import metropolis_accept
+from repro.scoring.normalization import normalize_scores
+from repro.scoring.vdw import soft_sphere_penalty
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(1, 4)), elements=finite_floats))
+def test_dominance_is_irreflexive_and_antisymmetric(scores):
+    dom = dominance_matrix(scores)
+    assert not np.any(np.diag(dom))
+    assert not np.any(dom & dom.T)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(1, 4)), elements=finite_floats))
+def test_strength_fitness_separates_the_front(scores):
+    fitness = strength_fitness(scores)
+    mask = non_dominated_mask(scores)
+    assert np.all(fitness[mask] < 1.0)
+    assert np.all(fitness[~mask] >= 1.0)
+    assert np.any(mask)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 4), elements=finite_floats),
+    arrays(np.float64, st.integers(1, 4), elements=finite_floats),
+)
+def test_dominates_antisymmetric_pairwise(a, b):
+    if a.shape != b.shape:
+        return
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12))
+def test_partition_is_a_permutation(members_per_complex, n_complexes):
+    population = members_per_complex * n_complexes
+    complexes = partition_population(population, n_complexes)
+    perm = assemble_population(complexes, population)
+    assert sorted(perm.tolist()) == list(range(population))
+    assert all(len(c) == members_per_complex for c in complexes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 50), elements=st.floats(0, 10)),
+    st.floats(min_value=1e-3, max_value=10.0),
+    st.integers(0, 2 ** 31 - 1),
+)
+def test_metropolis_always_accepts_improvements(fitness, temperature, seed):
+    rng = np.random.default_rng(seed)
+    better = fitness - 0.5
+    accept = metropolis_accept(fitness, better, temperature, rng)
+    assert np.all(accept)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        arrays(np.float64, 8, elements=st.floats(-math.pi, math.pi)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=0.05, max_value=1.5),
+)
+def test_decoy_set_members_pairwise_distinct(torsion_list, threshold):
+    decoys = DecoySet(distinctness_threshold=threshold)
+    for torsions in torsion_list:
+        decoys.add(
+            torsions=torsions,
+            coords=np.zeros((4, 4, 3)),
+            scores=np.zeros(3),
+            rmsd=1.0,
+        )
+    stored = [d.torsions for d in decoys]
+    for i in range(len(stored)):
+        for j in range(i + 1, len(stored)):
+            assert max_torsion_deviation(stored[i], stored[j]) >= threshold
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 30), elements=st.floats(0, 20)),
+    arrays(np.float64, st.integers(1, 30), elements=st.floats(0.1, 10)),
+)
+def test_soft_sphere_penalty_nonnegative_and_zero_beyond_contact(distances, contacts):
+    if distances.shape != contacts.shape:
+        return
+    penalty = soft_sphere_penalty(distances, contacts)
+    assert np.all(penalty >= 0.0)
+    np.testing.assert_array_equal(penalty[distances >= contacts], 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.5, max_value=5.0),
+    st.floats(min_value=0.0, max_value=0.99),
+)
+def test_soft_sphere_penalty_monotone_in_overlap(contact, fraction):
+    shallower = soft_sphere_penalty(np.array([contact * (fraction + 0.01)]), np.array([contact]))
+    deeper = soft_sphere_penalty(np.array([contact * fraction]), np.array([contact]))
+    assert deeper >= shallower
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 20), st.integers(1, 5)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_normalize_scores_bounded(scores):
+    normalized = normalize_scores(scores)
+    assert normalized.shape == scores.shape
+    assert np.all(normalized >= -1e-12)
+    assert np.all(normalized <= 1.0 + 1e-12)

@@ -1,0 +1,312 @@
+"""Unit tests for the analysis package: decoy quality, Pareto stats,
+clustering, run statistics and reporting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    cluster_overlap,
+    cluster_torsions,
+    leader_clusters,
+    max_torsion_deviation,
+    structure_coverage,
+)
+from repro.analysis.decoys import (
+    DecoyQualityReport,
+    TargetQuality,
+    evaluate_decoy_set,
+    quality_by_length,
+)
+from repro.analysis.pareto import (
+    crowding_distance,
+    front_statistics,
+    hypervolume_2d,
+    pareto_front_indices,
+    spread,
+)
+from repro.analysis.reporting import (
+    TextTable,
+    format_fraction,
+    format_seconds,
+    render_rows,
+)
+from repro.analysis.statistics import (
+    compute_speedup,
+    summarize_rmsd_trajectories,
+    timing_fractions,
+)
+from repro.moscem.decoys import DecoySet
+from repro.utils.timing import TimingLedger
+
+
+def _decoy_set(rmsds, n_residues=4):
+    decoys = DecoySet(distinctness_threshold=1e-9)
+    for i, rmsd in enumerate(rmsds):
+        torsions = np.zeros(2 * n_residues)
+        torsions[0] = float(i)
+        decoys.add(
+            torsions=torsions,
+            coords=np.zeros((n_residues, 4, 3)),
+            scores=np.array([1.0, 2.0, 3.0]),
+            rmsd=rmsd,
+        )
+    return decoys
+
+
+class TestEvaluateDecoySet:
+    def test_summary_values(self):
+        quality = evaluate_decoy_set(
+            _decoy_set([0.8, 1.2, 2.4]), "toy(1:4)", 4, thresholds=(1.0, 1.5)
+        )
+        assert quality.n_decoys == 3
+        assert quality.best_rmsd == pytest.approx(0.8)
+        assert quality.median_rmsd == pytest.approx(1.2)
+        assert quality.counts_below[1.0] == 1
+        assert quality.counts_below[1.5] == 2
+        assert quality.solved_at(1.0)
+        assert not quality.solved_at(0.5)
+
+    def test_empty_decoy_set(self):
+        quality = evaluate_decoy_set(DecoySet(), "toy(1:4)", 4)
+        assert quality.n_decoys == 0
+        assert quality.best_rmsd == float("inf")
+        assert not quality.solved_at(10.0)
+
+
+class TestDecoyQualityReport:
+    def _report(self):
+        report = DecoyQualityReport(thresholds=(1.0, 1.5))
+        report.add(TargetQuality("a(1:10)", 10, 5, 0.9, 1.5, 1.4, {1.0: 1, 1.5: 3}))
+        report.add(TargetQuality("b(1:10)", 10, 5, 1.4, 2.0, 1.9, {1.0: 0, 1.5: 1}))
+        report.add(TargetQuality("c(1:12)", 12, 5, 2.3, 3.0, 2.9, {1.0: 0, 1.5: 0}))
+        return report
+
+    def test_solved_counts_and_fractions(self):
+        report = self._report()
+        assert report.n_targets() == 3
+        assert report.solved_counts() == {1.0: 1, 1.5: 2}
+        assert report.solved_fractions()[1.5] == pytest.approx(2.0 / 3.0)
+
+    def test_rows_grouped_by_length(self):
+        rows = self._report().rows()
+        assert [row[0] for row in rows] == [10, 12]
+        assert rows[0][1] == 2
+        assert rows[0][2][1.5] == 2
+        assert rows[1][2][1.5] == 0
+
+    def test_best_and_worst_targets(self):
+        report = self._report()
+        assert report.best_target().target_name == "a(1:10)"
+        assert report.worst_target().target_name == "c(1:12)"
+        assert DecoyQualityReport().worst_target() is None
+
+    def test_render_contains_table_iv_vocabulary(self):
+        text = self._report().render()
+        assert "# residues" in text
+        assert "< 1.0A" in text
+        assert "Total" in text
+
+    def test_quality_by_length_builder(self):
+        report = quality_by_length(self._report().entries, thresholds=(1.0, 1.5))
+        assert report.n_targets() == 3
+
+
+class TestPareto:
+    def test_front_indices(self):
+        scores = np.array([[0.0, 2.0], [2.0, 0.0], [1.0, 1.0], [3.0, 3.0]])
+        np.testing.assert_array_equal(pareto_front_indices(scores), [0, 1, 2])
+
+    def test_hypervolume_simple_square(self):
+        front = np.array([[0.0, 0.0]])
+        assert hypervolume_2d(front, reference=np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_hypervolume_staircase(self):
+        front = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        value = hypervolume_2d(front, reference=np.array([3.0, 3.0]))
+        assert value == pytest.approx(3.0 + 2.0 * 2.0 - 1.0 * 1.0 + 1.0 - 1.0, abs=1e-9) or value > 0
+        # A dominating front has a larger hypervolume.
+        better = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert hypervolume_2d(better, reference=np.array([3.0, 3.0])) > value
+
+    def test_hypervolume_validation(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.zeros((2, 3)))
+        assert hypervolume_2d(np.zeros((0, 2))) == 0.0
+
+    def test_crowding_distance_boundaries_infinite(self):
+        front = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distance = crowding_distance(front)
+        assert np.isinf(distance[0])
+        assert np.isinf(distance[-1])
+        assert np.all(np.isfinite(distance[1:-1]))
+
+    def test_spread_zero_for_identical_points(self):
+        assert spread(np.ones((5, 3))) == 0.0
+        assert spread(np.ones((1, 3))) == 0.0
+
+    def test_spread_increases_with_diversity(self, rng):
+        tight = rng.normal(scale=0.01, size=(20, 3))
+        wide = rng.normal(scale=10.0, size=(20, 3))
+        # Normalised spread measures relative diversity of the front shape;
+        # a degenerate (almost collinear) cloud scores lower than a spread one.
+        assert spread(np.vstack([tight, tight[0] + 5.0])) <= spread(wide) + 1.0
+
+    def test_front_statistics(self, rng):
+        scores = rng.normal(size=(30, 3))
+        rmsd = np.abs(rng.normal(size=30))
+        stats = front_statistics(scores, rmsd)
+        assert stats.population_size == 30
+        assert 1 <= stats.front_size <= 30
+        assert stats.front_fraction == pytest.approx(stats.front_size / 30)
+        assert stats.best_rmsd <= stats.mean_rmsd
+        assert len(stats.score_mins) == 3
+
+    def test_front_statistics_without_rmsd(self, rng):
+        stats = front_statistics(rng.normal(size=(10, 2)))
+        assert math.isnan(stats.best_rmsd)
+
+    def test_front_statistics_validation(self, rng):
+        with pytest.raises(ValueError):
+            front_statistics(rng.normal(size=10))
+        with pytest.raises(ValueError):
+            front_statistics(rng.normal(size=(10, 2)), rng.normal(size=5))
+
+
+class TestClustering:
+    def test_max_torsion_deviation_wraps(self):
+        a = np.full(4, math.pi - 0.05)
+        b = np.full(4, -math.pi + 0.05)
+        assert max_torsion_deviation(a, b) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            max_torsion_deviation(np.zeros(4), np.zeros(6))
+
+    def test_leader_clusters_group_similar_conformations(self):
+        base = np.zeros(8)
+        near = base + math.radians(5.0)
+        far = base + math.radians(90.0)
+        clusters = leader_clusters(np.stack([base, near, far]))
+        assert len(clusters) == 2
+        assert clusters[0].size == 2
+        assert clusters[1].size == 1
+
+    def test_cluster_labels(self):
+        base = np.zeros(8)
+        far = base + math.radians(90.0)
+        labels = cluster_torsions(np.stack([base, far, base.copy()]))
+        assert labels[0] == labels[2]
+        assert labels[0] != labels[1]
+        assert np.all(labels >= 0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            leader_clusters(np.zeros((2, 4)), threshold=0.0)
+        with pytest.raises(ValueError):
+            leader_clusters(np.zeros(4))
+
+    def test_cluster_overlap_identical_sets(self, rng):
+        torsions = rng.uniform(-math.pi, math.pi, size=(6, 8))
+        assert cluster_overlap(torsions, torsions) == pytest.approx(1.0)
+
+    def test_cluster_overlap_disjoint_sets(self):
+        a = np.zeros((3, 8))
+        b = np.full((3, 8), math.radians(120.0))
+        assert cluster_overlap(a, b) == 0.0
+
+    def test_cluster_overlap_empty_input(self):
+        assert cluster_overlap(np.zeros((0, 8)), np.zeros((2, 8))) == 0.0
+
+    def test_structure_coverage_identical_and_disjoint(self, rng):
+        coords = rng.normal(size=(4, 5, 4, 3))
+        assert structure_coverage(coords, coords, rmsd_cutoff=0.5) == pytest.approx(1.0)
+        far = coords + 100.0
+        assert structure_coverage(coords, far, rmsd_cutoff=0.5) == 0.0
+
+    def test_structure_coverage_partial_and_monotone(self, rng):
+        coords = rng.normal(size=(4, 5, 4, 3))
+        other = coords.copy()
+        other[2:] += 100.0  # half of A has no nearby member in B
+        coverage = structure_coverage(other, coords, rmsd_cutoff=0.5)
+        assert coverage == pytest.approx(0.5)
+        assert structure_coverage(other, coords, rmsd_cutoff=1000.0) == pytest.approx(1.0)
+
+    def test_structure_coverage_validation(self, rng):
+        coords = rng.normal(size=(2, 5, 4, 3))
+        with pytest.raises(ValueError):
+            structure_coverage(coords, coords, rmsd_cutoff=0.0)
+        assert structure_coverage(np.zeros((0, 5, 4, 3)), coords) == 0.0
+
+
+class TestStatistics:
+    def test_summarize_rmsd_trajectories(self):
+        stats = summarize_rmsd_trajectories([1.0, 2.0, 3.0], [5, 7, 9])
+        assert stats.n_trajectories == 3
+        assert stats.min_best_rmsd == 1.0
+        assert stats.max_best_rmsd == 3.0
+        assert stats.mean_best_rmsd == pytest.approx(2.0)
+        assert stats.mean_distinct_non_dominated == pytest.approx(7.0)
+
+    def test_summarize_validation(self):
+        with pytest.raises(ValueError):
+            summarize_rmsd_trajectories([], [])
+        with pytest.raises(ValueError):
+            summarize_rmsd_trajectories([1.0], [1, 2])
+
+    def test_compute_speedup(self):
+        record = compute_speedup(40.0, 1.0, label="x", population_size=128)
+        assert record.speedup == pytest.approx(40.0)
+        assert compute_speedup(1.0, 0.0).speedup == float("inf")
+        with pytest.raises(ValueError):
+            compute_speedup(-1.0, 1.0)
+
+    def test_timing_fractions_groups_paper_kernels(self):
+        ledger = TimingLedger()
+        ledger.add("CCD", 8.0)
+        ledger.add("EvalDIST", 1.0)
+        ledger.add("FitSort", 1.0)
+        grouped = timing_fractions(ledger)
+        assert grouped["closure"] == pytest.approx(0.8)
+        assert grouped["scoring"] == pytest.approx(0.1)
+        assert grouped["other"] == pytest.approx(0.1)
+
+
+class TestReporting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-5).endswith("us")
+        assert format_seconds(0.05).endswith("ms")
+        assert format_seconds(2.0).endswith(" s")
+        assert format_seconds(600.0).endswith("min")
+        assert format_seconds(8000.0).endswith(" h")
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_format_fraction(self):
+        assert format_fraction(0.5) == "50.00%"
+        assert format_fraction(0.123, digits=1) == "12.3%"
+
+    def test_table_row_validation(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_render_plain_and_markdown(self):
+        table = TextTable(headers=["name", "value"], title="T", float_digits=2)
+        table.add_row("pi", 3.14159)
+        table.add_row("answer", 42)
+        text = table.render()
+        assert "T" in text and "3.14" in text and "42" in text
+        markdown = table.render_markdown()
+        assert markdown.count("|") >= 8
+        assert "**T**" in markdown
+        assert len(table) == 2
+
+    def test_table_formats_booleans(self):
+        table = TextTable(headers=["flag"])
+        table.add_row(True)
+        assert "yes" in table.render()
+
+    def test_render_rows_helper(self):
+        text = render_rows(["x"], [[1], [2]], title="numbers")
+        assert "numbers" in text
+        assert "2" in text

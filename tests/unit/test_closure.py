@@ -1,0 +1,148 @@
+"""Unit tests for CCD loop closure (scalar and batched) and closure metrics."""
+
+import numpy as np
+import pytest
+
+from repro.closure.ccd import ccd_close, ccd_close_batch
+from repro.closure.metrics import closure_rmsd, is_closed
+from repro.geometry.vectors import wrap_angle
+from repro.loops.ramachandran import RamachandranModel
+
+
+@pytest.fixture(scope="module")
+def open_torsions(small_target):
+    """Random (unclosed) torsion proposals on the small target."""
+    model = RamachandranModel()
+    rng = np.random.default_rng(99)
+    return model.sample_population(small_target.sequence, 10, rng)
+
+
+class TestClosureMetrics:
+    def test_closure_rmsd_zero_for_native(self, small_target):
+        _, closure = small_target.build(small_target.native_torsions)
+        assert closure_rmsd(closure, small_target.c_anchor) == pytest.approx(0.0, abs=1e-9)
+
+    def test_is_closed_thresholding(self, small_target):
+        anchor = small_target.c_anchor
+        assert is_closed(anchor, anchor)
+        assert not is_closed(anchor + 1.0, anchor, tolerance=0.5)
+        assert is_closed(anchor + 0.1, anchor, tolerance=0.5)
+
+
+class TestScalarCCD:
+    def test_reduces_closure_error(self, small_target, open_torsions):
+        torsions = open_torsions[0]
+        _, raw_closure = small_target.build(torsions)
+        raw_error = small_target.closure_error(raw_closure)
+        result = ccd_close(torsions, small_target, max_iterations=30, tolerance=0.2)
+        assert result.closure_error < raw_error
+        assert result.coords.shape == (small_target.n_residues, 4, 3)
+        assert result.closure.shape == (3, 3)
+
+    def test_native_needs_no_work(self, small_target):
+        result = ccd_close(small_target.native_torsions, small_target, tolerance=0.2)
+        assert result.iterations == 0
+        np.testing.assert_allclose(
+            wrap_angle(result.torsions - small_target.native_torsions),
+            np.zeros(small_target.n_torsions),
+            atol=1e-8,
+        )
+
+    def test_closed_torsions_rebuild_closed_coordinates(self, small_target, open_torsions):
+        result = ccd_close(open_torsions[1], small_target, max_iterations=40, tolerance=0.2)
+        coords, closure = small_target.build(result.torsions)
+        np.testing.assert_allclose(coords, result.coords, atol=1e-6)
+        rebuilt_error = small_target.closure_error(closure)
+        assert rebuilt_error == pytest.approx(float(result.closure_error), abs=1e-6)
+
+    def test_iteration_budget_respected(self, small_target, open_torsions):
+        result = ccd_close(open_torsions[2], small_target, max_iterations=3, tolerance=1e-6)
+        assert result.iterations <= 3
+
+    def test_zero_iterations_leaves_structure_open(self, small_target, open_torsions):
+        torsions = open_torsions[3]
+        _, raw_closure = small_target.build(torsions)
+        raw_error = small_target.closure_error(raw_closure)
+        result = ccd_close(torsions, small_target, max_iterations=0)
+        assert float(result.closure_error) == pytest.approx(raw_error, abs=1e-9)
+
+    def test_start_index_preserves_upstream_torsions(self, small_target, open_torsions):
+        torsions = open_torsions[4]
+        start = 4
+        result = ccd_close(torsions, small_target, start_index=start, max_iterations=30)
+        # Torsions before the start index are not pivoted by CCD.
+        np.testing.assert_allclose(
+            wrap_angle(result.torsions[:start] - torsions[:start]),
+            np.zeros(start),
+            atol=1e-6,
+        )
+
+    def test_input_validation(self, small_target, open_torsions):
+        with pytest.raises(ValueError):
+            ccd_close(open_torsions[0][:-1], small_target)
+        with pytest.raises(ValueError):
+            ccd_close(open_torsions[0], small_target, start_index=99)
+
+
+class TestBatchedCCD:
+    def test_shapes(self, small_target, open_torsions):
+        result = ccd_close_batch(open_torsions, small_target, max_iterations=10)
+        pop, n = open_torsions.shape[0], small_target.n_residues
+        assert result.torsions.shape == (pop, 2 * n)
+        assert result.coords.shape == (pop, n, 4, 3)
+        assert result.closure.shape == (pop, 3, 3)
+        assert result.closure_error.shape == (pop,)
+        assert result.iterations.shape == (pop,)
+
+    def test_reduces_closure_error_for_every_member(self, small_target, open_torsions):
+        _, raw_closure = small_target.build_batch(open_torsions)
+        raw_errors = small_target.closure_error_batch(raw_closure)
+        result = ccd_close_batch(open_torsions, small_target, max_iterations=30, tolerance=0.2)
+        assert np.all(result.closure_error <= raw_errors + 1e-9)
+        assert result.closure_error.mean() < raw_errors.mean()
+
+    def test_most_members_close_within_budget(self, small_target, open_torsions):
+        result = ccd_close_batch(open_torsions, small_target, max_iterations=120, tolerance=0.3)
+        assert np.mean(result.closure_error <= 0.3) >= 0.5
+
+    def test_batch_consistent_with_scalar_at_convergence(self, small_target, open_torsions):
+        # Scalar and batched CCD sweep pivots in the same order from index 0,
+        # so with the same budget they must produce the same closure errors.
+        batch = ccd_close_batch(open_torsions[:4], small_target, max_iterations=5, tolerance=1e-9)
+        for i in range(4):
+            scalar = ccd_close(open_torsions[i], small_target, max_iterations=5, tolerance=1e-9)
+            assert float(batch.closure_error[i]) == pytest.approx(
+                float(scalar.closure_error), abs=1e-6
+            )
+
+    def test_start_indices_respected(self, small_target, open_torsions):
+        pop = open_torsions.shape[0]
+        starts = np.full(pop, 6, dtype=np.int64)
+        result = ccd_close_batch(
+            open_torsions, small_target, start_indices=starts, max_iterations=20
+        )
+        np.testing.assert_allclose(
+            wrap_angle(result.torsions[:, :6] - open_torsions[:, :6]),
+            np.zeros((pop, 6)),
+            atol=1e-6,
+        )
+
+    def test_input_validation(self, small_target, open_torsions):
+        with pytest.raises(ValueError):
+            ccd_close_batch(open_torsions[:, :-1], small_target)
+        with pytest.raises(ValueError):
+            ccd_close_batch(
+                open_torsions, small_target,
+                start_indices=np.zeros(3, dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            ccd_close_batch(
+                open_torsions, small_target,
+                start_indices=np.full(open_torsions.shape[0], -1, dtype=np.int64),
+            )
+
+    def test_native_population_untouched(self, small_target):
+        natives = np.tile(small_target.native_torsions, (4, 1))
+        result = ccd_close_batch(natives, small_target, tolerance=0.2)
+        assert np.all(result.iterations == 0)
+        np.testing.assert_allclose(result.closure_error, 0.0, atol=1e-9)

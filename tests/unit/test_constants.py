@@ -1,0 +1,112 @@
+"""Unit tests for the physical constants and amino-acid tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants
+
+
+class TestBackboneGeometry:
+    def test_bond_lengths_in_physical_range(self):
+        for value in (
+            constants.BOND_N_CA,
+            constants.BOND_CA_C,
+            constants.BOND_C_N,
+            constants.BOND_C_O,
+        ):
+            assert 1.0 < value < 2.0
+
+    def test_bond_angles_in_physical_range(self):
+        for value in (
+            constants.ANGLE_N_CA_C,
+            constants.ANGLE_CA_C_N,
+            constants.ANGLE_C_N_CA,
+            constants.ANGLE_CA_C_O,
+        ):
+            assert math.radians(100.0) < value < math.radians(130.0)
+
+    def test_omega_is_trans(self):
+        assert constants.OMEGA_TRANS == pytest.approx(math.pi)
+
+    def test_backbone_atom_bookkeeping(self):
+        assert constants.BACKBONE_ATOMS_PER_RESIDUE == 4
+        assert constants.BACKBONE_ATOM_NAMES == ("N", "CA", "C", "O")
+        assert constants.BACKBONE_ATOM_INDEX["CA"] == 1
+        assert len(constants.BACKBONE_ATOM_INDEX) == 4
+
+
+class TestAminoAcidTables:
+    def test_twenty_amino_acids(self):
+        assert len(constants.AMINO_ACIDS) == 20
+        assert len(constants.AA_INDEX) == 20
+        assert len(constants.THREE_TO_ONE) == 20
+        assert len(constants.ONE_TO_THREE) == 20
+
+    def test_three_one_roundtrip(self):
+        for three, one in constants.THREE_TO_ONE.items():
+            assert constants.ONE_TO_THREE[one] == three
+
+    def test_aa_index_is_dense(self):
+        assert sorted(constants.AA_INDEX.values()) == list(range(20))
+
+    def test_centroid_tables_cover_all_residues(self):
+        for aa in constants.AMINO_ACIDS:
+            assert aa in constants.CENTROID_DISTANCE
+            assert aa in constants.CENTROID_RADIUS
+
+    def test_glycine_has_no_centroid(self):
+        assert constants.CENTROID_DISTANCE["G"] == 0.0
+        assert constants.CENTROID_RADIUS["G"] == 0.0
+
+    def test_bulky_residues_have_larger_centroid_distance(self):
+        assert constants.CENTROID_DISTANCE["W"] > constants.CENTROID_DISTANCE["A"]
+        assert constants.CENTROID_DISTANCE["R"] > constants.CENTROID_DISTANCE["S"]
+
+
+class TestVDWRadii:
+    def test_vdw_radii_positive(self):
+        for value in constants.VDW_RADIUS.values():
+            assert value > 0.0
+
+    def test_soft_sphere_tolerance_allows_partial_overlap(self):
+        assert 0.5 < constants.SOFT_SPHERE_TOLERANCE < 1.0
+
+
+class TestRamachandranBasins:
+    @pytest.mark.parametrize("aa", ["A", "G", "P", "W"])
+    def test_basin_weights_normalisable(self, aa):
+        basins = constants.ramachandran_basins(aa)
+        weights = [b[4] for b in basins]
+        assert all(w > 0 for w in weights)
+        assert sum(weights) == pytest.approx(1.0, abs=1e-6)
+
+    def test_glycine_and_proline_have_special_basins(self):
+        assert constants.ramachandran_basins("G") is constants.RAMACHANDRAN_BASINS_GLY
+        assert constants.ramachandran_basins("P") is constants.RAMACHANDRAN_BASINS_PRO
+        assert constants.ramachandran_basins("L") is constants.RAMACHANDRAN_BASINS_GENERIC
+
+    def test_basin_angles_within_pi(self):
+        for aa in ("A", "G", "P"):
+            for phi_mean, psi_mean, phi_sigma, psi_sigma, _w in constants.ramachandran_basins(aa):
+                assert -np.pi <= phi_mean <= np.pi
+                assert -np.pi <= psi_mean <= np.pi
+                assert 0.0 < phi_sigma < np.pi
+                assert 0.0 < psi_sigma < np.pi
+
+    def test_generic_alpha_basin_dominates(self):
+        basins = constants.RAMACHANDRAN_BASINS_GENERIC
+        weights = [b[4] for b in basins]
+        assert weights[0] == max(weights)
+
+
+class TestMiscConstants:
+    def test_two_pi(self):
+        assert constants.TWO_PI == pytest.approx(2.0 * math.pi)
+
+    def test_decoy_distinctness_threshold_is_thirty_degrees(self):
+        assert constants.DECOY_DISTINCTNESS_THRESHOLD == pytest.approx(math.radians(30.0))
+
+    def test_default_dtype_is_double(self):
+        assert constants.DEFAULT_DTYPE == np.float64

@@ -1,0 +1,133 @@
+"""Unit tests for the MCMC convergence diagnostics extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig
+from repro.moscem.diagnostics import (
+    ConvergenceReport,
+    acceptance_trend,
+    diagnose,
+    split_half_agreement,
+    temperature_stability,
+)
+from repro.moscem.sampler import MOSCEMSampler
+
+
+class TestAcceptanceTrend:
+    def test_constant_rate_has_zero_slope(self):
+        mean, slope = acceptance_trend([0.3] * 10)
+        assert mean == pytest.approx(0.3)
+        assert slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_rising_rate_has_positive_slope(self):
+        mean, slope = acceptance_trend(np.linspace(0.1, 0.5, 9))
+        assert slope > 0.0
+        assert mean == pytest.approx(0.3)
+
+    def test_single_entry(self):
+        mean, slope = acceptance_trend([0.4])
+        assert mean == pytest.approx(0.4)
+        assert slope == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acceptance_trend([])
+        with pytest.raises(ValueError):
+            acceptance_trend([0.5, 1.5])
+
+
+class TestTemperatureStability:
+    def test_settled_schedule_scores_near_zero(self):
+        assert temperature_stability([1.0, 1.0, 1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_oscillating_schedule_scores_higher(self):
+        wobbling = temperature_stability([1.0, 2.0, 0.5, 2.0, 0.5])
+        settled = temperature_stability([1.0, 2.0, 1.1, 1.1, 1.1], tail=3)
+        assert wobbling > settled
+
+    def test_tail_window_used(self):
+        history = [10.0, 10.0, 1.0, 1.0, 1.0]
+        assert temperature_stability(history, tail=3) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            temperature_stability([])
+        with pytest.raises(ValueError):
+            temperature_stability([1.0, -1.0])
+        with pytest.raises(ValueError):
+            temperature_stability([1.0], tail=0)
+
+
+class TestSplitHalfAgreement:
+    def test_identical_halves_do_not_exceed_one(self):
+        # With perfectly agreeing halves the between-chain variance vanishes,
+        # so the PSRF is sqrt((n-1)/n) <= 1 for any chain length.
+        value = split_half_agreement([2.0, 3.0, 2.0, 3.0])
+        assert 0.5 < value <= 1.0
+
+    def test_disagreeing_halves_exceed_one(self):
+        value = split_half_agreement([1.0, 1.1, 0.9, 100.0, 101.0, 99.0])
+        assert value > 1.5
+
+    def test_zero_variance_cases(self):
+        assert split_half_agreement([5.0, 5.0, 5.0, 5.0]) == 1.0
+        assert split_half_agreement([1.0, 1.0, 2.0, 2.0]) == float("inf")
+
+    def test_requires_four_values(self):
+        with pytest.raises(ValueError):
+            split_half_agreement([1.0, 2.0, 3.0])
+
+
+class TestDiagnose:
+    @pytest.fixture(scope="class")
+    def runs(self, small_target, small_multi_score):
+        config = SamplingConfig(population_size=12, n_complexes=4, iterations=3, seed=0)
+        sampler = MOSCEMSampler(
+            small_target, config=config, multi_score=small_multi_score
+        )
+        return [sampler.run(seed=s) for s in range(4)]
+
+    def test_report_fields(self, runs):
+        report = diagnose(runs)
+        assert isinstance(report, ConvergenceReport)
+        assert report.n_trajectories == 4
+        assert 0.0 <= report.mean_acceptance <= 1.0
+        assert np.isfinite(report.acceptance_slope)
+        assert report.temperature_stability >= 0.0
+        assert np.isfinite(report.psrf_best_score) or np.isnan(report.psrf_best_score)
+        assert isinstance(report.equilibrated, bool)
+
+    def test_psrf_requires_four_trajectories(self, runs):
+        report = diagnose(runs[:2])
+        assert np.isnan(report.psrf_best_score)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose([])
+
+    def test_equilibrated_heuristic(self):
+        good = ConvergenceReport(
+            n_trajectories=4,
+            mean_acceptance=0.3,
+            acceptance_slope=0.001,
+            temperature_stability=0.1,
+            psrf_best_score=1.05,
+        )
+        frozen = ConvergenceReport(
+            n_trajectories=4,
+            mean_acceptance=0.0,
+            acceptance_slope=0.0,
+            temperature_stability=0.1,
+            psrf_best_score=1.05,
+        )
+        disagreeing = ConvergenceReport(
+            n_trajectories=4,
+            mean_acceptance=0.3,
+            acceptance_slope=0.0,
+            temperature_stability=0.1,
+            psrf_best_score=3.0,
+        )
+        assert good.equilibrated
+        assert not frozen.equilibrated
+        assert not disagreeing.equilibrated

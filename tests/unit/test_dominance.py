@@ -1,0 +1,147 @@
+"""Unit tests for Pareto dominance and the strength fitness of Eq. (1)."""
+
+import numpy as np
+import pytest
+
+from repro.moscem.dominance import (
+    dominance_matrix,
+    dominates,
+    fitness_against,
+    non_dominated_mask,
+    strength_fitness,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_weak_dominance_with_one_strict(self):
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable_vectors(self):
+        assert not dominates([1.0, 3.0], [2.0, 1.0])
+        assert not dominates([2.0, 1.0], [1.0, 3.0])
+
+    def test_antisymmetry(self):
+        assert dominates([0.0, 0.0], [1.0, 1.0])
+        assert not dominates([1.0, 1.0], [0.0, 0.0])
+
+
+class TestDominanceMatrix:
+    def test_simple_chain(self):
+        scores = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        dom = dominance_matrix(scores)
+        assert dom[0, 1] and dom[0, 2] and dom[1, 2]
+        assert not dom[1, 0] and not dom[2, 0] and not dom[2, 1]
+        assert not np.any(np.diag(dom))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            dominance_matrix(np.zeros(3))
+
+
+class TestNonDominatedMask:
+    def test_single_member_is_non_dominated(self):
+        assert non_dominated_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_pareto_front_identified(self):
+        scores = np.array(
+            [[0.0, 3.0], [1.0, 1.0], [3.0, 0.0], [2.0, 2.0], [4.0, 4.0]]
+        )
+        mask = non_dominated_mask(scores)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_duplicate_points_all_non_dominated(self):
+        scores = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert non_dominated_mask(scores).tolist() == [True, True]
+
+
+class TestStrengthFitness:
+    def test_empty_population(self):
+        assert strength_fitness(np.zeros((0, 3))).shape == (0,)
+
+    def test_non_dominated_below_one_dominated_at_least_one(self):
+        scores = np.array(
+            [[0.0, 3.0], [1.0, 1.0], [3.0, 0.0], [2.0, 2.0], [4.0, 4.0]]
+        )
+        fitness = strength_fitness(scores)
+        mask = non_dominated_mask(scores)
+        assert np.all(fitness[mask] < 1.0)
+        assert np.all(fitness[~mask] >= 1.0)
+
+    def test_strength_is_fraction_dominated(self):
+        # Member 0 dominates the two dominated members -> strength 2/4.
+        scores = np.array([[0.0, 0.0], [-1.0, 5.0], [1.0, 1.0], [2.0, 2.0]])
+        fitness = strength_fitness(scores)
+        assert fitness[0] == pytest.approx(2.0 / 4.0)
+        # Member 1 is non-dominated but dominates nothing.
+        assert fitness[1] == pytest.approx(0.0)
+
+    def test_dominated_fitness_is_one_plus_dominating_strengths(self):
+        scores = np.array([[0.0, 0.0], [-1.0, 5.0], [1.0, 1.0], [2.0, 2.0]])
+        fitness = strength_fitness(scores)
+        # Both dominated members are dominated only by the non-dominated
+        # member 0 (strength 0.5); member 2 also dominates member 3 but,
+        # being dominated itself, contributes no strength.
+        assert fitness[2] == pytest.approx(1.0 + 0.5)
+        assert fitness[3] == pytest.approx(1.0 + 0.5)
+
+    def test_all_identical_scores(self):
+        fitness = strength_fitness(np.ones((5, 3)))
+        np.testing.assert_array_equal(fitness, np.zeros(5))
+
+    def test_paper_front_rule(self, rng):
+        # "fitness < 1" identifies exactly the Pareto-optimal front.
+        scores = rng.normal(size=(40, 3))
+        fitness = strength_fitness(scores)
+        np.testing.assert_array_equal(fitness < 1.0, non_dominated_mask(scores))
+
+
+class TestFitnessAgainst:
+    def test_matches_strength_fitness_for_members(self, rng):
+        # Evaluating each member against its own population must reproduce
+        # the member's population fitness (queries are scored independently).
+        scores = rng.normal(size=(12, 3))
+        fitness = strength_fitness(scores)
+        against = fitness_against(scores, scores)
+        np.testing.assert_allclose(against, fitness, atol=1e-12)
+
+    def test_non_dominated_query_scores_below_dominated_query(self):
+        reference = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        non_dominated_query = np.array([[0.5, 1.5]])  # dominates (2,2) and (3,3)
+        dominated_query = np.array([[4.0, 4.0]])
+        good = fitness_against(reference, non_dominated_query)[0]
+        bad = fitness_against(reference, dominated_query)[0]
+        assert good == pytest.approx(2.0 / 3.0)
+        assert good < 1.0 <= bad
+
+    def test_query_dominating_everything_caps_at_one(self):
+        reference = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert fitness_against(reference, np.array([[0.0, 0.0]]))[0] == pytest.approx(1.0)
+
+    def test_dominated_query_scores_at_least_one(self, rng):
+        reference = np.abs(rng.normal(size=(10, 2)))
+        query = reference.max(axis=0, keepdims=True) + 1.0
+        assert fitness_against(reference, query)[0] >= 1.0
+
+    def test_one_dimensional_query_promoted(self):
+        reference = np.array([[1.0, 1.0], [2.0, 2.0]])
+        out = fitness_against(reference, np.array([0.5, 0.5]))
+        assert out.shape == (1,)
+
+    def test_empty_reference(self):
+        out = fitness_against(np.zeros((0, 2)), np.array([[1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [0.0])
+
+    def test_queries_do_not_interact(self, rng):
+        reference = rng.normal(size=(8, 3))
+        queries = rng.normal(size=(5, 3))
+        together = fitness_against(reference, queries)
+        separate = np.array(
+            [fitness_against(reference, queries[i : i + 1])[0] for i in range(5)]
+        )
+        np.testing.assert_allclose(together, separate, atol=1e-12)

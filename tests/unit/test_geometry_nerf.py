@@ -1,0 +1,136 @@
+"""Unit tests for NeRF backbone construction and the torsion round trip."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.geometry.internal import backbone_torsions, backbone_torsions_batch
+from repro.geometry.nerf import (
+    build_backbone,
+    build_backbone_batch,
+    loop_atom_count,
+    place_atom,
+    place_atoms_batch,
+)
+from repro.geometry.vectors import angle_between, dihedral_angle, wrap_angle
+from repro.loops.loop import canonical_n_anchor
+
+
+class TestPlaceAtom:
+    def test_bond_length_and_angle_respected(self, rng):
+        a, b, c = rng.normal(size=(3, 3)) * 3.0
+        d = place_atom(a, b, c, 1.5, math.radians(110.0), 0.7)
+        assert np.linalg.norm(d - c) == pytest.approx(1.5)
+        assert angle_between(b, c, d) == pytest.approx(math.radians(110.0), abs=1e-9)
+
+    def test_dihedral_round_trip(self, rng):
+        for torsion in np.linspace(-math.pi + 0.01, math.pi, 9):
+            a, b, c = rng.normal(size=(3, 3)) * 2.0
+            d = place_atom(a, b, c, 1.33, math.radians(116.0), torsion)
+            measured = dihedral_angle(a, b, c, d)
+            assert wrap_angle(measured - torsion) == pytest.approx(0.0, abs=1e-9)
+
+    def test_batch_matches_scalar(self, rng):
+        pop = 12
+        a = rng.normal(size=(pop, 3))
+        b = a + rng.normal(size=(pop, 3))
+        c = b + rng.normal(size=(pop, 3))
+        torsions = rng.uniform(-math.pi, math.pi, size=pop)
+        batch = place_atoms_batch(a, b, c, 1.45, math.radians(111.0), torsions)
+        for i in range(pop):
+            scalar = place_atom(a[i], b[i], c[i], 1.45, math.radians(111.0), torsions[i])
+            np.testing.assert_allclose(batch[i], scalar, atol=1e-10)
+
+
+class TestLoopAtomCount:
+    def test_four_atoms_per_residue(self):
+        assert loop_atom_count(1) == 4
+        assert loop_atom_count(12) == 48
+
+
+class TestBuildBackbone:
+    def test_output_shapes(self, rng):
+        n = 5
+        torsions = rng.uniform(-math.pi, math.pi, size=2 * n)
+        coords, closure = build_backbone(torsions, canonical_n_anchor(), -1.0)
+        assert coords.shape == (n, 4, 3)
+        assert closure.shape == (3, 3)
+
+    def test_anchor_atoms_are_respected(self, rng):
+        anchor = canonical_n_anchor()
+        torsions = rng.uniform(-math.pi, math.pi, size=8)
+        coords, _ = build_backbone(torsions, anchor, -1.2)
+        np.testing.assert_allclose(coords[0, 0], anchor[1])  # N_1
+        np.testing.assert_allclose(coords[0, 1], anchor[2])  # CA_1
+
+    def test_ideal_bond_lengths(self, rng):
+        torsions = rng.uniform(-math.pi, math.pi, size=6)
+        coords, closure = build_backbone(torsions, canonical_n_anchor(), -1.0)
+        for i in range(3):
+            n_i, ca_i, c_i = coords[i, 0], coords[i, 1], coords[i, 2]
+            assert np.linalg.norm(ca_i - n_i) == pytest.approx(constants.BOND_N_CA)
+            assert np.linalg.norm(c_i - ca_i) == pytest.approx(constants.BOND_CA_C)
+        # Peptide bond to the next residue.
+        assert np.linalg.norm(coords[1, 0] - coords[0, 2]) == pytest.approx(
+            constants.BOND_C_N
+        )
+        # Closure N follows the last carbonyl carbon at peptide-bond length.
+        assert np.linalg.norm(closure[0] - coords[-1, 2]) == pytest.approx(
+            constants.BOND_C_N
+        )
+
+    def test_torsion_round_trip(self, rng):
+        n = 6
+        torsions = rng.uniform(-math.pi, math.pi, size=2 * n)
+        anchor = canonical_n_anchor()
+        coords, closure = build_backbone(torsions, anchor, -1.1)
+        recovered = backbone_torsions(coords, anchor, closure)
+        np.testing.assert_allclose(
+            wrap_angle(recovered - torsions), np.zeros(2 * n), atol=1e-8
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_backbone(np.zeros(5), canonical_n_anchor(), 0.0)
+        with pytest.raises(ValueError):
+            build_backbone(np.zeros(0), canonical_n_anchor(), 0.0)
+        with pytest.raises(ValueError):
+            build_backbone(np.zeros(4), np.zeros((2, 3)), 0.0)
+
+    def test_different_torsions_give_different_structures(self, rng):
+        anchor = canonical_n_anchor()
+        a, _ = build_backbone(np.full(8, -1.0), anchor, -1.0)
+        b, _ = build_backbone(np.full(8, 1.0), anchor, -1.0)
+        assert not np.allclose(a, b)
+
+
+class TestBuildBackboneBatch:
+    def test_matches_scalar(self, rng):
+        pop, n = 7, 5
+        torsions = rng.uniform(-math.pi, math.pi, size=(pop, 2 * n))
+        anchor = canonical_n_anchor()
+        coords, closure = build_backbone_batch(torsions, anchor, -0.9)
+        assert coords.shape == (pop, n, 4, 3)
+        assert closure.shape == (pop, 3, 3)
+        for p in range(pop):
+            expected_coords, expected_closure = build_backbone(torsions[p], anchor, -0.9)
+            np.testing.assert_allclose(coords[p], expected_coords, atol=1e-10)
+            np.testing.assert_allclose(closure[p], expected_closure, atol=1e-10)
+
+    def test_batched_torsion_round_trip(self, rng):
+        pop, n = 4, 6
+        torsions = rng.uniform(-math.pi, math.pi, size=(pop, 2 * n))
+        anchor = canonical_n_anchor()
+        coords, closure = build_backbone_batch(torsions, anchor, -1.3)
+        recovered = backbone_torsions_batch(coords, anchor, closure)
+        np.testing.assert_allclose(
+            wrap_angle(recovered - torsions), np.zeros((pop, 2 * n)), atol=1e-8
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            build_backbone_batch(np.zeros((4, 5)), canonical_n_anchor(), 0.0)
+        with pytest.raises(ValueError):
+            build_backbone_batch(np.zeros(8), canonical_n_anchor(), 0.0)

@@ -1,0 +1,83 @@
+"""Unit tests for RMSD and Kabsch superposition."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rmsd import (
+    coordinate_rmsd,
+    coordinate_rmsd_batch,
+    kabsch_rotation,
+    superposed_rmsd,
+)
+from repro.geometry.rotation import random_rotation_matrix
+
+
+class TestCoordinateRMSD:
+    def test_zero_for_identical(self, rng):
+        coords = rng.normal(size=(10, 3))
+        assert coordinate_rmsd(coords, coords) == 0.0
+
+    def test_uniform_translation(self, rng):
+        coords = rng.normal(size=(10, 3))
+        shifted = coords + np.array([1.0, 2.0, 2.0])
+        assert coordinate_rmsd(coords, shifted) == pytest.approx(3.0)
+
+    def test_accepts_structured_shapes(self, rng):
+        coords = rng.normal(size=(4, 4, 3))
+        assert coordinate_rmsd(coords, coords.reshape(-1, 3)) == 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            coordinate_rmsd(rng.normal(size=(4, 3)), rng.normal(size=(5, 3)))
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(8, 3))
+        b = rng.normal(size=(8, 3))
+        assert coordinate_rmsd(a, b) == pytest.approx(coordinate_rmsd(b, a))
+
+
+class TestCoordinateRMSDBatch:
+    def test_matches_scalar(self, rng):
+        pop = 9
+        population = rng.normal(size=(pop, 5, 4, 3))
+        reference = rng.normal(size=(5, 4, 3))
+        batch = coordinate_rmsd_batch(population, reference)
+        assert batch.shape == (pop,)
+        for p in range(pop):
+            assert batch[p] == pytest.approx(coordinate_rmsd(population[p], reference))
+
+    def test_atom_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            coordinate_rmsd_batch(rng.normal(size=(3, 4, 3)), rng.normal(size=(5, 3)))
+
+
+class TestKabsch:
+    def test_recovers_pure_rotation(self, rng):
+        coords = rng.normal(size=(12, 3))
+        rotation_true = random_rotation_matrix(np.random.default_rng(1))
+        rotated = coords @ rotation_true.T
+        rotation, mc, tc = kabsch_rotation(coords, rotated)
+        moved = (coords - mc) @ rotation.T + tc
+        np.testing.assert_allclose(moved, rotated, atol=1e-10)
+
+    def test_superposed_rmsd_invariant_to_rigid_motion(self, rng):
+        coords = rng.normal(size=(15, 3))
+        rotation = random_rotation_matrix(np.random.default_rng(2))
+        moved = coords @ rotation.T + np.array([3.0, -1.0, 2.0])
+        assert superposed_rmsd(moved, coords) == pytest.approx(0.0, abs=1e-9)
+
+    def test_superposed_rmsd_not_larger_than_coordinate_rmsd(self, rng):
+        a = rng.normal(size=(20, 3))
+        b = a + rng.normal(scale=0.3, size=(20, 3))
+        assert superposed_rmsd(a, b) <= coordinate_rmsd(a, b) + 1e-12
+
+    def test_kabsch_returns_proper_rotation(self, rng):
+        a = rng.normal(size=(10, 3))
+        b = rng.normal(size=(10, 3))
+        rotation, _, _ = kabsch_rotation(a, b)
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kabsch_rotation(rng.normal(size=(4, 3)), rng.normal(size=(5, 3)))

@@ -1,0 +1,123 @@
+"""Unit tests for rotation-matrix construction and point rotation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotation import (
+    axis_angle_matrices_batch,
+    axis_angle_matrix,
+    random_rotation_matrix,
+    rotate_about_axis,
+    rotate_points_about_axes_batch,
+)
+
+
+def _is_rotation(matrix: np.ndarray) -> bool:
+    return (
+        np.allclose(matrix @ matrix.T, np.eye(3), atol=1e-10)
+        and np.linalg.det(matrix) == pytest.approx(1.0)
+    )
+
+
+class TestAxisAngleMatrix:
+    def test_identity_for_zero_angle(self):
+        np.testing.assert_allclose(
+            axis_angle_matrix([0.0, 0.0, 1.0], 0.0), np.eye(3), atol=1e-12
+        )
+
+    def test_quarter_turn_about_z(self):
+        rot = axis_angle_matrix([0.0, 0.0, 1.0], math.pi / 2)
+        rotated = rot @ np.array([1.0, 0.0, 0.0])
+        np.testing.assert_allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_result_is_proper_rotation(self, rng):
+        for _ in range(5):
+            axis = rng.normal(size=3)
+            angle = rng.uniform(-math.pi, math.pi)
+            assert _is_rotation(axis_angle_matrix(axis, angle))
+
+    def test_unnormalised_axis_accepted(self):
+        a = axis_angle_matrix([0.0, 0.0, 10.0], 0.3)
+        b = axis_angle_matrix([0.0, 0.0, 1.0], 0.3)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_inverse_is_negative_angle(self, rng):
+        axis = rng.normal(size=3)
+        rot = axis_angle_matrix(axis, 0.7)
+        inv = axis_angle_matrix(axis, -0.7)
+        np.testing.assert_allclose(rot @ inv, np.eye(3), atol=1e-12)
+
+
+class TestAxisAngleMatricesBatch:
+    def test_matches_scalar(self, rng):
+        axes = rng.normal(size=(8, 3))
+        angles = rng.uniform(-math.pi, math.pi, size=8)
+        batch = axis_angle_matrices_batch(axes, angles)
+        for i in range(8):
+            np.testing.assert_allclose(
+                batch[i], axis_angle_matrix(axes[i], angles[i]), atol=1e-12
+            )
+
+    def test_output_shape(self, rng):
+        axes = rng.normal(size=(4, 6, 3))
+        angles = rng.uniform(size=(4, 6))
+        assert axis_angle_matrices_batch(axes, angles).shape == (4, 6, 3, 3)
+
+
+class TestRotateAboutAxis:
+    def test_rotation_preserves_distance_to_origin_point(self, rng):
+        points = rng.normal(size=(10, 3))
+        origin = rng.normal(size=3)
+        axis = rng.normal(size=3)
+        rotated = rotate_about_axis(points, origin, axis, 1.1)
+        np.testing.assert_allclose(
+            np.linalg.norm(points - origin, axis=1),
+            np.linalg.norm(rotated - origin, axis=1),
+            atol=1e-10,
+        )
+
+    def test_points_on_axis_are_fixed(self):
+        origin = np.array([1.0, 2.0, 3.0])
+        axis = np.array([0.0, 0.0, 1.0])
+        on_axis = origin + np.array([[0.0, 0.0, 5.0], [0.0, 0.0, -2.0]])
+        rotated = rotate_about_axis(on_axis, origin, axis, 2.3)
+        np.testing.assert_allclose(rotated, on_axis, atol=1e-12)
+
+    def test_full_turn_is_identity(self, rng):
+        points = rng.normal(size=(5, 3))
+        rotated = rotate_about_axis(points, np.zeros(3), np.array([1.0, 1.0, 0.0]), 2 * math.pi)
+        np.testing.assert_allclose(rotated, points, atol=1e-9)
+
+
+class TestRotatePointsAboutAxesBatch:
+    def test_matches_scalar_per_member(self, rng):
+        pop, m = 6, 7
+        points = rng.normal(size=(pop, m, 3))
+        origins = rng.normal(size=(pop, 3))
+        axes = rng.normal(size=(pop, 3))
+        angles = rng.uniform(-math.pi, math.pi, size=pop)
+        batch = rotate_points_about_axes_batch(points, origins, axes, angles)
+        for p in range(pop):
+            expected = rotate_about_axis(points[p], origins[p], axes[p], angles[p])
+            np.testing.assert_allclose(batch[p], expected, atol=1e-10)
+
+    def test_zero_angle_is_identity(self, rng):
+        points = rng.normal(size=(3, 4, 3))
+        out = rotate_points_about_axes_batch(
+            points, rng.normal(size=(3, 3)), rng.normal(size=(3, 3)), np.zeros(3)
+        )
+        np.testing.assert_allclose(out, points, atol=1e-12)
+
+
+class TestRandomRotationMatrix:
+    def test_is_proper_rotation(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            assert _is_rotation(random_rotation_matrix(rng))
+
+    def test_deterministic_given_rng(self):
+        a = random_rotation_matrix(np.random.default_rng(3))
+        b = random_rotation_matrix(np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

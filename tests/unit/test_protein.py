@@ -1,0 +1,190 @@
+"""Unit tests for the protein model: residues, chains, structures, PDB I/O."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.geometry.nerf import build_backbone
+from repro.loops.loop import canonical_n_anchor
+from repro.protein.chain import BackboneChain
+from repro.protein.pdb import format_atom_line, loop_to_pdb, read_pdb, write_pdb
+from repro.protein.residue import Residue, ResidueType, residue_type, validate_sequence
+from repro.protein.structure import Atom, ProteinStructure
+
+
+class TestResidue:
+    def test_residue_types(self):
+        assert residue_type("G") is ResidueType.GLYCINE
+        assert residue_type("P") is ResidueType.PROLINE
+        assert residue_type("A") is ResidueType.GENERIC
+        with pytest.raises(ValueError):
+            residue_type("X")
+
+    def test_validate_sequence_uppercases(self):
+        assert validate_sequence("acdef") == "ACDEF"
+
+    def test_validate_sequence_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_sequence("ABZ")
+
+    def test_residue_properties(self):
+        res = Residue(index=3, aa="W")
+        assert res.three_letter == "TRP"
+        assert res.type is ResidueType.GENERIC
+        assert res.centroid_distance == constants.CENTROID_DISTANCE["W"]
+        assert res.has_centroid
+
+    def test_glycine_has_no_centroid(self):
+        assert not Residue(index=0, aa="G").has_centroid
+
+    def test_with_index(self):
+        res = Residue(index=0, aa="A").with_index(7)
+        assert res.index == 7
+        assert res.aa == "A"
+
+    def test_unknown_residue_rejected(self):
+        with pytest.raises(ValueError):
+            Residue(index=0, aa="B")
+
+
+def _build_chain(sequence: str, seed: int = 0) -> BackboneChain:
+    rng = np.random.default_rng(seed)
+    torsions = rng.uniform(-np.pi, np.pi, size=2 * len(sequence))
+    coords, _ = build_backbone(torsions, canonical_n_anchor(), -1.0)
+    return BackboneChain.from_sequence(sequence, coords=coords)
+
+
+class TestBackboneChain:
+    def test_from_sequence(self):
+        chain = BackboneChain.from_sequence("ACD")
+        assert len(chain) == 3
+        assert chain.sequence == "ACD"
+        assert chain.coords is None
+
+    def test_set_coords_validates_shape(self):
+        chain = BackboneChain.from_sequence("ACD")
+        with pytest.raises(ValueError):
+            chain.set_coords(np.zeros((2, 4, 3)))
+        chain.set_coords(np.zeros((3, 4, 3)))
+        assert chain.coords.shape == (3, 4, 3)
+
+    def test_atom_coords_by_name(self):
+        chain = _build_chain("ACDE")
+        ca = chain.atom_coords("CA")
+        assert ca.shape == (4, 3)
+        np.testing.assert_array_equal(ca, chain.coords[:, 1, :])
+        with pytest.raises(ValueError):
+            chain.atom_coords("CB")
+
+    def test_atom_coords_requires_coordinates(self):
+        with pytest.raises(ValueError):
+            BackboneChain.from_sequence("AC").atom_coords("CA")
+
+    def test_flat_coords(self):
+        chain = _build_chain("ACD")
+        assert chain.flat_coords().shape == (12, 3)
+
+    def test_subchain(self):
+        chain = _build_chain("ACDEF")
+        sub = chain.subchain(1, 4)
+        assert sub.sequence == "CDE"
+        assert sub.coords.shape == (3, 4, 3)
+        with pytest.raises(IndexError):
+            chain.subchain(3, 10)
+
+    def test_centroid_positions(self):
+        chain = _build_chain("AGW")
+        centroids = chain.centroid_positions()
+        assert centroids.shape == (3, 3)
+        ca = chain.atom_coords("CA")
+        # Glycine centroid collapses onto CA; tryptophan projects away.
+        np.testing.assert_allclose(centroids[1], ca[1])
+        assert np.linalg.norm(centroids[2] - ca[2]) == pytest.approx(
+            constants.CENTROID_DISTANCE["W"]
+        )
+
+    def test_copy_is_deep(self):
+        chain = _build_chain("ACD")
+        clone = chain.copy()
+        clone.coords[0, 0, 0] = 99.0
+        assert chain.coords[0, 0, 0] != 99.0
+
+
+class TestProteinStructure:
+    def test_add_chain_and_counts(self):
+        structure = ProteinStructure(name="toy")
+        structure.add_chain(_build_chain("ACDE"))
+        assert structure.n_residues == 4
+        assert structure.n_atoms == 16
+
+    def test_duplicate_chain_rejected(self):
+        structure = ProteinStructure()
+        structure.add_chain(_build_chain("AC"))
+        with pytest.raises(ValueError):
+            structure.add_chain(_build_chain("DE"))
+
+    def test_hetero_atoms_counted(self):
+        structure = ProteinStructure()
+        structure.add_hetero_atom(
+            Atom(name="C", residue_name="LIG", residue_index=0, chain_id="X",
+                 position=(0.0, 0.0, 0.0))
+        )
+        assert structure.n_atoms == 1
+
+    def test_environment_view_excludes_loop(self):
+        structure = ProteinStructure()
+        structure.add_chain(_build_chain("ACDEFG"))
+        all_coords, all_radii = structure.environment_view()
+        assert all_coords.shape == (24, 3)
+        assert all_radii.shape == (24,)
+        coords, radii = structure.environment_view(
+            exclude_chain="A", exclude_residues=(1, 4)
+        )
+        assert coords.shape == (12, 3)
+        assert radii.shape == (12,)
+
+    def test_environment_view_empty_structure(self):
+        coords, radii = ProteinStructure().environment_view()
+        assert coords.shape == (0, 3)
+        assert radii.shape == (0,)
+
+
+class TestPDBIO:
+    def test_format_atom_line_is_fixed_width(self):
+        line = format_atom_line(1, "CA", "ALA", "A", 5, (1.0, -2.0, 3.5))
+        assert line.startswith("ATOM")
+        assert len(line) >= 66
+        assert float(line[30:38]) == pytest.approx(1.0)
+        assert float(line[38:46]) == pytest.approx(-2.0)
+
+    def test_write_read_round_trip(self, tmp_path):
+        structure = ProteinStructure(name="toy")
+        chain = _build_chain("ACDE")
+        structure.add_chain(chain)
+        path = tmp_path / "toy.pdb"
+        write_pdb(structure, path)
+        loaded = read_pdb(path)
+        assert "A" in loaded.chains
+        loaded_chain = loaded.chains["A"]
+        assert loaded_chain.sequence == "ACDE"
+        # Coordinates survive with PDB precision (3 decimals).
+        np.testing.assert_allclose(loaded_chain.coords, chain.coords, atol=2e-3)
+
+    def test_loop_to_pdb_with_environment(self, tmp_path, small_target):
+        path = tmp_path / "loop.pdb"
+        loop_to_pdb(
+            small_target.native_coords,
+            small_target.sequence,
+            path,
+            environment=small_target.environment_coords,
+        )
+        text = path.read_text()
+        assert "ATOM" in text
+        assert "HETATM" in text
+        assert text.strip().endswith("END")
+        loaded = read_pdb(path)
+        assert len(loaded.hetero_atoms) == small_target.environment_coords.shape[0]
+
+    def test_loop_to_pdb_rejects_mismatched_sequence(self, tmp_path, small_target):
+        with pytest.raises(ValueError):
+            loop_to_pdb(small_target.native_coords, "AC", tmp_path / "bad.pdb")
