@@ -13,15 +13,34 @@ Run with::
 
 Set ``REPRO_BENCH_SCALE=default`` (or ``paper``) to rerun every benchmark at
 a larger scale.
+
+Every test collected from this directory carries the ``benchmarks`` marker
+(registered in ``pytest.ini``), so CI can split fast unit-test feedback from
+the experiment reruns: ``pytest -m "not benchmarks"`` for the former,
+``pytest -m benchmarks`` for the latter.
 """
 
 from __future__ import annotations
 
 import os
+import pathlib
 
 import pytest
 
 from repro.experiments import run_experiment
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every test under ``benchmarks/`` with the ``benchmarks`` marker."""
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - exotic collectors
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.benchmarks)
 
 
 def bench_scale() -> str:

@@ -27,10 +27,18 @@ __all__ = ["SamplingBackend", "CPUBackend", "GPUBackend", "make_backend"]
 
 
 def make_backend(kind: str, target, multi_score, config, **kwargs):
-    """Factory: build a backend by name (``"cpu"`` or ``"gpu"``)."""
+    """Factory: build a backend by name.
+
+    ``"cpu"`` is the paper's scalar reference, ``"cpu-batched"`` the same
+    backend routed through the population-chunked batched scoring kernels,
+    and ``"gpu"`` (aliases ``"cpu-gpu"``, ``"simt"``) the simulated SIMT
+    backend.
+    """
     kind = kind.lower()
     if kind == "cpu":
         return CPUBackend(target, multi_score, config, **kwargs)
+    if kind == "cpu-batched":
+        return CPUBackend(target, multi_score, config, scoring_mode="batched", **kwargs)
     if kind in ("gpu", "cpu-gpu", "simt"):
         return GPUBackend(target, multi_score, config, **kwargs)
     raise ValueError(f"unknown backend kind: {kind!r}")

@@ -77,11 +77,15 @@ class GPUBackend(SamplingBackend):
     def _kernel(self, key: str) -> KernelSpec:
         return PAPER_KERNELS[key]
 
-    def _launch(self, key: str, population_size: int, fn, *args, **kwargs):
+    def _launch(
+        self, key: str, population_size: int, fn, *args, block_size=None, **kwargs
+    ):
         """Launch a kernel, mirroring the timing into the backend ledger."""
         spec = self._kernel(key)
         before = self.profiler.kernel_seconds.get(spec.name, 0.0)
-        result = self.engine.launch(spec, population_size, fn, *args, **kwargs)
+        result = self.engine.launch(
+            spec, population_size, fn, *args, block_size=block_size, **kwargs
+        )
         after = self.profiler.kernel_seconds.get(spec.name, 0.0)
         self.ledger.add(spec.name.replace("[", "").replace("]", ""), after - before)
         return result
@@ -122,7 +126,12 @@ class GPUBackend(SamplingBackend):
         for fn in self.multi_score:
             columns.append(
                 self._launch(
-                    fn.kernel_name, pop, fn.evaluate_batch, coords, torsions
+                    fn.kernel_name,
+                    pop,
+                    fn.evaluate_batch,
+                    coords,
+                    torsions,
+                    block_size=fn.resolved_block_size(pop),
                 )
             )
         scores = np.stack(columns, axis=1)

@@ -97,7 +97,16 @@ def _sample_parser() -> argparse.ArgumentParser:
     parser.add_argument("--iterations", type=int, default=20, help="MOSCEM iterations")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
-        "--backend", choices=("cpu", "gpu"), default="gpu", help="execution backend"
+        "--backend",
+        choices=("cpu", "cpu-batched", "gpu"),
+        default="gpu",
+        help="execution backend",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=0,
+        help="population members per batched-kernel chunk (0 = engine default)",
     )
     parser.add_argument(
         "--pdb", default=None, help="write the best decoy to this PDB file"
@@ -123,6 +132,7 @@ def sample_main(argv: Optional[Sequence[str]] = None) -> int:
         population_size=args.population,
         n_complexes=args.complexes,
         iterations=args.iterations,
+        kernel_block_size=args.block_size,
         seed=args.seed,
     )
     sampler = MOSCEMSampler(target, config=config, backend_kind=args.backend)

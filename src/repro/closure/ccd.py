@@ -25,6 +25,7 @@ from repro import constants
 from repro.geometry.internal import backbone_torsions, backbone_torsions_batch
 from repro.geometry.rmsd import coordinate_rmsd, coordinate_rmsd_batch
 from repro.geometry.rotation import rotate_about_axis, rotate_points_about_axes_batch
+from repro.geometry.vectors import normalize
 from repro.loops.loop import LoopTarget
 
 __all__ = ["CCDResult", "ccd_close", "ccd_close_batch"]
@@ -79,17 +80,19 @@ def _pivot_indices(j: int) -> Tuple[int, int, int]:
 def _optimal_angle(
     end_atoms: np.ndarray, targets: np.ndarray, origin: np.ndarray, axis: np.ndarray
 ) -> float:
-    """Closed-form optimal CCD rotation angle for one conformation."""
+    """Closed-form optimal CCD rotation angle for one conformation.
+
+    Uses the expanded forms ``r_perp . f_perp = r.f - (r.axis)(f.axis)`` and
+    ``(axis x r_perp) . f_perp = axis . (r x f)``, which need no
+    perpendicular-component vectors.
+    """
     a = 0.0
     b = 0.0
     for k in range(end_atoms.shape[0]):
         r = end_atoms[k] - origin
-        r_perp = r - np.dot(r, axis) * axis
         f = targets[k] - origin
-        f_perp = f - np.dot(f, axis) * axis
-        s = np.cross(axis, r_perp)
-        a += np.dot(r_perp, f_perp)
-        b += np.dot(s, f_perp)
+        a += np.dot(r, f) - np.dot(r, axis) * np.dot(f, axis)
+        b += np.dot(axis, np.cross(r, f))
     if abs(a) < _EPS and abs(b) < _EPS:
         return 0.0
     return float(np.arctan2(b, a))
@@ -220,35 +223,69 @@ def ccd_close_batch(
         active = errors > tolerance
         if not np.any(active):
             break
+        # Converged members are excluded from the whole sweep, not just the
+        # rotations: all per-pivot math runs on the active subset only, so
+        # the cost of a sweep shrinks as the population closes (matching
+        # the scalar kernel, whose converged members simply stop sweeping).
+        subset = not np.all(active)
+        if subset:
+            rows = np.where(active)[0]
+            sub = moving[rows]
+            sub_starts = start_indices[rows]
+        else:
+            sub = moving
+            sub_starts = start_indices
         for j in range(2 * n):
             b_idx, c_idx, move_start = _pivot_indices(j)
-            origins = moving[:, b_idx, :]
-            axes = moving[:, c_idx, :] - origins
-            norms = np.linalg.norm(axes, axis=1, keepdims=True)
-            norms = np.where(norms < _EPS, 1.0, norms)
-            axes = axes / norms
+            origins = sub[:, b_idx, :]
+            raw_axes = sub[:, c_idx, :] - origins
+            axes = normalize(raw_axes)
 
-            ends = moving[:, -3:, :]  # (P, 3, 3)
+            ends = sub[:, -3:, :]  # (A, 3, 3)
             r = ends - origins[:, None, :]
-            r_par = np.einsum("pki,pi->pk", r, axes)[..., None] * axes[:, None, :]
-            r_perp = r - r_par
             f = anchors[None, :, :] - origins[:, None, :]
-            f_par = np.einsum("pki,pi->pk", f, axes)[..., None] * axes[:, None, :]
-            f_perp = f - f_par
-            s = np.cross(np.broadcast_to(axes[:, None, :], r_perp.shape), r_perp)
-
-            a = np.einsum("pki,pki->p", r_perp, f_perp)
-            b = np.einsum("pki,pki->p", s, f_perp)
+            # Expanded perpendicular products (see _optimal_angle): no
+            # r_perp/f_perp temporaries are materialised, and the triple
+            # product axis . (r x f) is summed componentwise to avoid the
+            # dispatch overhead of np.cross on small populations.
+            r_ax = np.einsum("pki,pi->pk", r, axes)
+            f_ax = np.einsum("pki,pi->pk", f, axes)
+            a = np.einsum("pki,pki->p", r, f) - np.einsum("pk,pk->p", r_ax, f_ax)
+            cx = (r[:, :, 1] * f[:, :, 2] - r[:, :, 2] * f[:, :, 1]).sum(axis=1)
+            cy = (r[:, :, 2] * f[:, :, 0] - r[:, :, 0] * f[:, :, 2]).sum(axis=1)
+            cz = (r[:, :, 0] * f[:, :, 1] - r[:, :, 1] * f[:, :, 0]).sum(axis=1)
+            b = axes[:, 0] * cx + axes[:, 1] * cy + axes[:, 2] * cz
             angles = np.arctan2(b, a)
-            # Members that are already converged, or whose mutation point is
-            # after this pivot, keep this pivot fixed.
-            angles = np.where(active & (start_indices <= j), angles, 0.0)
+            # Members whose mutation point is after this pivot keep it
+            # fixed, as do members whose gradient terms are pure noise and
+            # members with a degenerate (zero-length) pivot axis — the
+            # scalar kernel skips the latter with its `norm < _EPS` guard,
+            # and rotating about a near-zero axis would scale the tail.
+            angles = np.where(sub_starts <= j, angles, 0.0)
             angles = np.where((np.abs(a) < _EPS) & (np.abs(b) < _EPS), 0.0, angles)
-            if not np.any(np.abs(angles) > 1e-10):
-                continue
-            moving[:, move_start:, :] = rotate_points_about_axes_batch(
-                moving[:, move_start:, :], origins, axes, angles
+            angles = np.where(
+                np.einsum("pi,pi->p", raw_axes, raw_axes) < _EPS * _EPS, 0.0, angles
             )
+            rotating = np.abs(angles) > 1e-10
+            if not np.any(rotating):
+                continue
+            if np.all(rotating):
+                sub[:, move_start:, :] = rotate_points_about_axes_batch(
+                    sub[:, move_start:, :], origins, axes, angles, normalized=True
+                )
+            else:
+                # Only rotate the members that actually move instead of
+                # paying for identity rotations.
+                move = np.where(rotating)[0]
+                sub[move, move_start:, :] = rotate_points_about_axes_batch(
+                    sub[move, move_start:, :],
+                    origins[move],
+                    axes[move],
+                    angles[move],
+                    normalized=True,
+                )
+        if subset:
+            moving[rows] = sub
 
         errors = coordinate_rmsd_batch(moving[:, -3:, :], anchors)
         newly = (errors <= tolerance) & (converged_at == max_iterations)

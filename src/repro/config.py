@@ -51,6 +51,11 @@ class SamplingConfig:
     closure_tolerance_factor:
         Multiple of ``ccd_tolerance`` a proposal's closure error may reach
         and still be accepted.
+    kernel_block_size:
+        Population members each batched scoring kernel processes per chunk,
+        so the pair temporaries stay cache-resident at paper-scale
+        populations.  ``0`` (the default) selects the engine default of
+        :data:`repro.scoring.pairwise.DEFAULT_BLOCK_SIZE` members.
     seed:
         Seed of the trajectory master RNG.
     """
@@ -68,6 +73,7 @@ class SamplingConfig:
     ccd_tolerance: float = 0.25
     require_closure: bool = True
     closure_tolerance_factor: float = 2.0
+    kernel_block_size: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,6 +96,8 @@ class SamplingConfig:
             raise ValueError("ccd_iterations must be non-negative")
         if self.closure_tolerance_factor <= 0.0:
             raise ValueError("closure_tolerance_factor must be positive")
+        if self.kernel_block_size < 0:
+            raise ValueError("kernel_block_size must be >= 0 (0 selects the default)")
 
     @property
     def complex_size(self) -> int:

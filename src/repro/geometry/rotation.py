@@ -90,7 +90,11 @@ def rotate_about_axis(
 
 
 def rotate_points_about_axes_batch(
-    points: np.ndarray, origins: np.ndarray, axes: np.ndarray, angles: np.ndarray
+    points: np.ndarray,
+    origins: np.ndarray,
+    axes: np.ndarray,
+    angles: np.ndarray,
+    normalized: bool = False,
 ) -> np.ndarray:
     """Rotate each batch of points about its own axis.
 
@@ -104,17 +108,43 @@ def rotate_points_about_axes_batch(
         ``(P, 3)`` per-batch rotation axes (not necessarily normalised).
     angles:
         ``(P,)`` per-batch rotation angles in radians.
+    normalized:
+        Set true when ``axes`` are already unit vectors to skip the
+        normalisation pass (the batched CCD kernel normalises its pivot
+        axes itself).
 
     Returns
     -------
     numpy.ndarray
         ``(P, m, 3)`` rotated point sets.
+
+    Notes
+    -----
+    Applies the Rodrigues formula to the points directly,
+    ``p' = p cos(a) + (k x p) sin(a) + k (k . p)(1 - cos(a))``, rather than
+    building per-member matrices first: this is the innermost operation of
+    the batched CCD kernel (once per pivot per sweep), and skipping the
+    matrix assembly roughly halves its cost on small populations.
     """
     points = np.asarray(points, dtype=np.float64)
     origins = np.asarray(origins, dtype=np.float64)[:, None, :]
-    mats = axis_angle_matrices_batch(axes, angles)  # (P, 3, 3)
+    axes = np.asarray(axes, dtype=np.float64)
+    if not normalized:
+        axes = normalize(axes)
+    angles = np.asarray(angles, dtype=np.float64)
+
+    c = np.cos(angles)[:, None]
+    s = np.sin(angles)[:, None]
     shifted = points - origins
-    rotated = np.einsum("pij,pmj->pmi", mats, shifted)
+    x, y, z = shifted[..., 0], shifted[..., 1], shifted[..., 2]
+    kx = axes[:, 0, None]
+    ky = axes[:, 1, None]
+    kz = axes[:, 2, None]
+    t = (x * kx + y * ky + z * kz) * (1.0 - c)
+    rotated = np.empty_like(shifted)
+    rotated[..., 0] = x * c + (ky * z - kz * y) * s + kx * t
+    rotated[..., 1] = y * c + (kz * x - kx * z) * s + ky * t
+    rotated[..., 2] = z * c + (kx * y - ky * x) * s + kz * t
     return rotated + origins
 
 

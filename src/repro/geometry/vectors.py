@@ -32,7 +32,13 @@ def normalize(v: np.ndarray, axis: int = -1) -> np.ndarray:
     warnings when a degenerate conformation appears in the population.
     """
     v = np.asarray(v, dtype=np.float64)
-    norm = np.linalg.norm(v, axis=axis, keepdims=True)
+    if axis == -1 or axis == v.ndim - 1:
+        # Fast path for the ubiquitous last-axis case: one einsum instead
+        # of np.linalg.norm's generic machinery (this sits inside the CCD
+        # sweep, once per pivot).
+        norm = np.sqrt(np.einsum("...i,...i->...", v, v))[..., None]
+    else:
+        norm = np.linalg.norm(v, axis=axis, keepdims=True)
     safe = np.where(norm < _EPS, 1.0, norm)
     return v / safe
 

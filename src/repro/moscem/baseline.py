@@ -74,7 +74,9 @@ class SimulatedAnnealingBaseline:
             if multi_score is None:
                 from repro.scoring import default_multi_score
 
-                multi_score = default_multi_score(target)
+                multi_score = default_multi_score(
+                    target, block_size=self.config.kernel_block_size
+                )
             objective = WeightedSumScore(multi_score)
         self.objective = objective
         if not (0.0 < cooling < 1.0):

@@ -129,7 +129,9 @@ class MOSCEMSampler:
         if multi_score is None:
             from repro.scoring import default_multi_score
 
-            multi_score = default_multi_score(target)
+            multi_score = default_multi_score(
+                target, block_size=self.config.kernel_block_size
+            )
         self.multi_score = multi_score
         if backend is None:
             from repro.backends import make_backend

@@ -20,6 +20,11 @@ from repro.scoring.knowledge import (
     build_knowledge_base,
     default_knowledge_base,
 )
+from repro.scoring.pairwise import (
+    DEFAULT_BLOCK_SIZE,
+    EnvironmentGrid,
+    population_blocks,
+)
 from repro.scoring.triplet import TripletScore
 from repro.scoring.distance import DistanceScore
 from repro.scoring.vdw import SoftSphereVDW
@@ -32,6 +37,9 @@ __all__ = [
     "KnowledgeBase",
     "build_knowledge_base",
     "default_knowledge_base",
+    "DEFAULT_BLOCK_SIZE",
+    "EnvironmentGrid",
+    "population_blocks",
     "TripletScore",
     "DistanceScore",
     "SoftSphereVDW",
@@ -42,7 +50,7 @@ __all__ = [
 ]
 
 
-def default_multi_score(target, knowledge_base=None) -> MultiScore:
+def default_multi_score(target, knowledge_base=None, block_size=None) -> MultiScore:
     """The paper's scoring-function set (VDW, TRIPLET, DIST) for a target.
 
     Parameters
@@ -52,12 +60,15 @@ def default_multi_score(target, knowledge_base=None) -> MultiScore:
     knowledge_base:
         Optional pre-built :class:`KnowledgeBase`; the default synthetic one
         is used otherwise.
+    block_size:
+        Population chunk size of the batched kernels; ``None`` or ``0``
+        selects :data:`repro.scoring.pairwise.DEFAULT_BLOCK_SIZE`.
     """
     kb = knowledge_base if knowledge_base is not None else default_knowledge_base()
     return MultiScore(
         [
-            SoftSphereVDW(target),
-            TripletScore(target, kb),
-            DistanceScore(target, kb),
+            SoftSphereVDW(target, block_size=block_size),
+            TripletScore(target, kb, block_size=block_size),
+            DistanceScore(target, kb, block_size=block_size),
         ]
     )

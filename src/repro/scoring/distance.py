@@ -5,6 +5,13 @@ residue), the potential scores the observed distance against the library
 distribution for that atom-type pair and sequence separation.  Like the
 original potential, the tables are pre-computed and constant during
 sampling; the paper keeps them in GPU texture memory.
+
+Evaluation runs on the shared pairwise kernel engine
+(:mod:`repro.scoring.pairwise`): squared distances are binned against
+pre-squared edges (no ``sqrt``), each pair reads its own pre-gathered table
+row, and the population is processed in cache-sized chunks.  Pairs at or
+beyond ``DISTANCE_MAX`` read the neutral overflow column and contribute
+zero — the tables hold no statistics out there.
 """
 
 from __future__ import annotations
@@ -17,12 +24,13 @@ from repro import constants
 from repro.loops.loop import LoopTarget
 from repro.scoring.base import ScoringFunction
 from repro.scoring.knowledge import (
+    DISTANCE_SQ_EDGES,
     KnowledgeBase,
     atom_pair_index,
     default_knowledge_base,
-    distance_bin,
     separation_class,
 )
+from repro.scoring.pairwise import binned_table_sum
 
 __all__ = ["DistanceScore"]
 
@@ -40,6 +48,7 @@ class DistanceScore(ScoringFunction):
         target: LoopTarget,
         knowledge_base: Optional[KnowledgeBase] = None,
         min_separation: int = 1,
+        block_size: Optional[int] = None,
     ) -> None:
         if min_separation < 1:
             raise ValueError("min_separation must be >= 1")
@@ -48,6 +57,7 @@ class DistanceScore(ScoringFunction):
             knowledge_base if knowledge_base is not None else default_knowledge_base()
         )
         self.min_separation = min_separation
+        self.block_size = block_size
 
         n = target.n_residues
         n_types = constants.BACKBONE_ATOMS_PER_RESIDUE
@@ -74,31 +84,38 @@ class DistanceScore(ScoringFunction):
         self._pair_type = np.array(pair_type, dtype=np.int64)
         self._sep_cls = np.array(sep_cls, dtype=np.int64)
 
+        # Gather each pair's table row once, padded with a neutral overflow
+        # column read by out-of-range pairs: (n_pairs, DISTANCE_BINS + 1).
+        table = self.knowledge_base.distance_neg_log
+        rows = table[self._pair_type, self._sep_cls]
+        self._pair_tables = np.ascontiguousarray(
+            np.concatenate([rows, np.zeros((rows.shape[0], 1))], axis=1)
+        )
+
     @property
     def n_pairs(self) -> int:
         """Number of atom pairs scored per conformation."""
         return self._first.size
 
     def evaluate(self, coords: np.ndarray, torsions: np.ndarray) -> float:
-        """Sum of pair scores for one conformation."""
+        """Sum of pair scores for one conformation.
+
+        An exact one-member special case of :meth:`evaluate_batch` — the
+        shared engine guarantees bit-identical per-member arithmetic.
+        """
         coords = np.asarray(coords, dtype=np.float64)
-        flat = coords.reshape(-1, 3)
-        diff = flat[self._first] - flat[self._second]
-        dists = np.sqrt(np.sum(diff * diff, axis=-1))
-        bins = distance_bin(dists)
-        table = self.knowledge_base.distance_neg_log
-        return float(np.sum(table[self._pair_type, self._sep_cls, bins]))
+        return float(self.evaluate_batch(coords[None], None)[0])
 
     def evaluate_batch(self, coords: np.ndarray, torsions: np.ndarray) -> np.ndarray:
-        """Vectorised pair scoring over the whole population."""
+        """Chunked, sqrt-free pair scoring over the whole population."""
         coords = np.asarray(coords, dtype=np.float64)
         pop = coords.shape[0]
         flat = coords.reshape(pop, -1, 3)
-        diff = flat[:, self._first, :] - flat[:, self._second, :]
-        dists = np.sqrt(np.sum(diff * diff, axis=-1))  # (P, n_pairs)
-        bins = distance_bin(dists)
-        table = self.knowledge_base.distance_neg_log
-        values = table[
-            self._pair_type[None, :], self._sep_cls[None, :], bins
-        ]  # (P, n_pairs)
-        return values.sum(axis=1)
+        return binned_table_sum(
+            flat,
+            self._first,
+            self._second,
+            self._pair_tables,
+            DISTANCE_SQ_EDGES,
+            block_size=self.block_size,
+        )

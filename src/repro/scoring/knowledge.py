@@ -25,6 +25,7 @@ import numpy as np
 from repro import constants
 from repro.loops.library import LoopLibrary, default_library
 from repro.protein.residue import ResidueType, residue_type
+from repro.scoring.pairwise import bin_squared_distances, squared_bin_edges
 
 __all__ = [
     "KnowledgeBase",
@@ -33,10 +34,13 @@ __all__ = [
     "TORSION_BINS",
     "DISTANCE_BINS",
     "DISTANCE_MAX",
+    "DISTANCE_SQ_EDGES",
     "SEPARATION_CLASSES",
     "atom_pair_index",
     "separation_class",
     "triplet_class_index",
+    "distance_bin",
+    "distance_bin_sq",
 ]
 
 #: Number of bins per torsion axis (15-degree bins).
@@ -47,6 +51,9 @@ DISTANCE_BINS: int = 30
 
 #: Maximum distance (A) covered by the pairwise histograms.
 DISTANCE_MAX: float = 15.0
+
+#: Squared edges of the distance histogram bins (for sqrt-free binning).
+DISTANCE_SQ_EDGES: np.ndarray = squared_bin_edges(DISTANCE_MAX, DISTANCE_BINS)
 
 #: Sequence-separation classes: |i-j| == 1, == 2, == 3, >= 4.
 SEPARATION_CLASSES: int = 4
@@ -97,11 +104,30 @@ def torsion_bin(angles: np.ndarray) -> np.ndarray:
     return np.clip(bins, 0, TORSION_BINS - 1)
 
 
+def distance_bin_sq(sq_distances: np.ndarray) -> np.ndarray:
+    """Map *squared* distances (A^2) to distance histogram bins.
+
+    In-range pairs map to ``[0, DISTANCE_BINS)``; pairs at or beyond
+    ``DISTANCE_MAX`` map to the overflow bin ``DISTANCE_BINS``.  The tables
+    carry no statistics past their last edge, so out-of-range pairs must be
+    treated as neutral rather than silently scored as if they sat at the
+    table edge.
+
+    .. warning::
+       The overflow bin is one past the last axis of
+       ``KnowledgeBase.distance_neg_log``: callers indexing a table with
+       these bins must either mask ``bins >= DISTANCE_BINS`` (as
+       :func:`build_knowledge_base` does) or index a zero-padded table (as
+       :class:`~repro.scoring.distance.DistanceScore` does).
+    """
+    sq_distances = np.asarray(sq_distances, dtype=np.float64)
+    return bin_squared_distances(sq_distances, DISTANCE_SQ_EDGES)
+
+
 def distance_bin(distances: np.ndarray) -> np.ndarray:
-    """Map distances (A) to distance histogram bins [0, DISTANCE_BINS)."""
+    """Map distances (A) to bins; out-of-range maps to ``DISTANCE_BINS``."""
     distances = np.asarray(distances, dtype=np.float64)
-    bins = np.floor(distances / DISTANCE_MAX * DISTANCE_BINS).astype(np.int64)
-    return np.clip(bins, 0, DISTANCE_BINS - 1)
+    return distance_bin_sq(distances * distances)
 
 
 @dataclass(frozen=True)
@@ -180,10 +206,13 @@ def build_knowledge_base(library: LoopLibrary) -> KnowledgeBase:
             for j in range(i + 1, n):
                 sep_cls = separation_class(j - i)
                 diff = coords[i][:, None, :] - coords[j][None, :, :]
-                dists = np.sqrt(np.sum(diff * diff, axis=-1))  # (4, 4)
-                bins = distance_bin(dists)
+                # Bin the squared distances directly so histogram building
+                # and the runtime kernels share one edge-exact binning.
+                bins = distance_bin_sq(np.sum(diff * diff, axis=-1))  # (4, 4)
                 for a in range(_N_ATOM_TYPES):
                     for b in range(_N_ATOM_TYPES):
+                        if bins[a, b] >= DISTANCE_BINS:
+                            continue  # beyond the table edge: no statistics
                         pair = atom_pair_index(a, b)
                         dist_counts[pair, sep_cls, bins[a, b]] += 1.0
                         reference_counts[bins[a, b]] += 1.0

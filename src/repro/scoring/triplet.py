@@ -21,6 +21,7 @@ from repro.scoring.knowledge import (
     torsion_bin,
     triplet_class_index,
 )
+from repro.scoring.pairwise import population_blocks
 
 __all__ = ["TripletScore"]
 
@@ -33,11 +34,17 @@ class TripletScore(ScoringFunction):
     #: Registers per thread of the corresponding CUDA kernel (paper Table III).
     registers_per_thread = 20
 
-    def __init__(self, target: LoopTarget, knowledge_base: Optional[KnowledgeBase] = None) -> None:
+    def __init__(
+        self,
+        target: LoopTarget,
+        knowledge_base: Optional[KnowledgeBase] = None,
+        block_size: Optional[int] = None,
+    ) -> None:
         self.target = target
         self.knowledge_base = (
             knowledge_base if knowledge_base is not None else default_knowledge_base()
         )
+        self.block_size = block_size
         seq = target.sequence
         n = len(seq)
         # Pre-compute the triplet class of every loop residue.  Residues at
@@ -53,18 +60,25 @@ class TripletScore(ScoringFunction):
         self._tables = self.knowledge_base.triplet_neg_log[classes]
 
     def evaluate(self, coords: np.ndarray, torsions: np.ndarray) -> float:
-        """Sum of ``-log P(phi_i, psi_i | triplet class)`` over loop residues."""
+        """Sum of ``-log P(phi_i, psi_i | triplet class)`` over loop residues.
+
+        An exact one-member special case of :meth:`evaluate_batch`.
+        """
         torsions = np.asarray(torsions, dtype=np.float64)
-        phi_bins = torsion_bin(torsions[0::2])
-        psi_bins = torsion_bin(torsions[1::2])
-        residue_idx = np.arange(len(self._classes))
-        return float(np.sum(self._tables[residue_idx, phi_bins, psi_bins]))
+        # The triplet potential never reads coordinates, but keep the batch
+        # call shape-consistent with the other scorers when they are given.
+        batch_coords = None if coords is None else np.asarray(coords)[None]
+        return float(self.evaluate_batch(batch_coords, torsions[None])[0])
 
     def evaluate_batch(self, coords: np.ndarray, torsions: np.ndarray) -> np.ndarray:
-        """Vectorised lookup over the whole population."""
+        """Vectorised lookup over the whole population, in population chunks."""
         torsions = np.asarray(torsions, dtype=np.float64)
-        phi_bins = torsion_bin(torsions[:, 0::2])  # (P, n)
-        psi_bins = torsion_bin(torsions[:, 1::2])  # (P, n)
+        pop = torsions.shape[0]
+        totals = np.empty(pop, dtype=np.float64)
         residue_idx = np.arange(len(self._classes))[None, :]
-        values = self._tables[residue_idx, phi_bins, psi_bins]  # (P, n)
-        return values.sum(axis=1)
+        for block in population_blocks(pop, self.block_size):
+            phi_bins = torsion_bin(torsions[block, 0::2])  # (B, n)
+            psi_bins = torsion_bin(torsions[block, 1::2])  # (B, n)
+            values = self._tables[residue_idx, phi_bins, psi_bins]  # (B, n)
+            totals[block] = values.sum(axis=1)
+        return totals

@@ -57,19 +57,27 @@ class SIMTEngine:
         population_size: int,
         fn: Callable[..., Any],
         *args: Any,
+        block_size: Optional[int] = None,
         **kwargs: Any,
     ) -> Any:
         """Execute ``fn`` as a kernel launch over ``population_size`` threads.
 
         The callable is executed once (it is expected to be vectorised over
         the population) and its wall-clock time is attributed to the kernel.
-        Returns whatever ``fn`` returns.
+        ``block_size`` documents the population chunk size the kernel body
+        processes internally, so the recorded launch stays truthful about
+        the chunked execution.  Returns whatever ``fn`` returns.
         """
         if population_size <= 0:
             raise ValueError("population_size must be positive")
         blocks = self.device.blocks_for_population(
             population_size, spec.threads_per_block
         )
+        if block_size is not None and block_size > 0:
+            chunks = -(-population_size // block_size)
+        else:
+            block_size = None
+            chunks = 1
         start = time.perf_counter()
         result = fn(*args, **kwargs)
         elapsed = time.perf_counter() - start
@@ -79,6 +87,8 @@ class SIMTEngine:
                 population_size=population_size,
                 elapsed_seconds=elapsed,
                 blocks=blocks,
+                block_size=block_size,
+                chunks=chunks,
             )
         )
         return result

@@ -43,12 +43,20 @@ class KernelSpec:
 
 @dataclass
 class KernelLaunch:
-    """One recorded kernel launch."""
+    """One recorded kernel launch.
+
+    ``block_size``/``chunks`` record how the host-side vectorised kernel
+    body actually partitioned the population (``None``/1 when it processed
+    everything in one sweep), so profiling tables reflect the chunked
+    execution truthfully rather than pretending one monolithic pass.
+    """
 
     spec: KernelSpec
     population_size: int
     elapsed_seconds: float
     blocks: int
+    block_size: Optional[int] = None
+    chunks: int = 1
 
     @property
     def threads(self) -> int:

@@ -40,12 +40,17 @@ class TestKnowledgeIndexing:
         bins = torsion_bin(angles)
         assert np.all(np.diff(bins) >= 0)
 
-    def test_distance_bin_range_and_clipping(self):
+    def test_distance_bin_range_and_overflow(self):
         distances = np.array([0.0, 5.0, 14.9, 15.0, 100.0])
         bins = distance_bin(distances)
         assert bins[0] == 0
-        assert bins[-1] == DISTANCE_BINS - 1
-        assert np.all((bins >= 0) & (bins < DISTANCE_BINS))
+        # In-range distances fill the regular bins...
+        assert np.all(bins[:3] < DISTANCE_BINS)
+        # ...while distances at or beyond DISTANCE_MAX map to the dedicated
+        # overflow bin instead of being clipped into the last occupied bin.
+        assert bins[3] == DISTANCE_BINS
+        assert bins[4] == DISTANCE_BINS
+        assert np.all((bins >= 0) & (bins <= DISTANCE_BINS))
 
     def test_atom_pair_index_symmetric(self):
         for a in range(4):
