@@ -1,11 +1,30 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is declared in ``pyproject.toml``; this file exists so that
-``pip install -e .`` also works in offline environments whose pip/setuptools
-combination cannot build PEP 660 editable wheels (legacy ``setup.py develop``
-needs neither network access nor the ``wheel`` package).
+The project carries its full metadata here (rather than in a
+``pyproject.toml``) so that ``pip install -e .`` also works in offline
+environments whose pip/setuptools combination cannot build PEP 660
+editable wheels (legacy ``setup.py develop`` needs neither network access
+nor the ``wheel`` package).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-moscem",
+    version="0.3.0",
+    description=(
+        "Reproduction of a GPU-accelerated multi-objective MOSCEM loop "
+        "sampler, with a sharded checkpoint/resume runtime"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.cli:experiments_main",
+            "repro-sample=repro.cli:sample_main",
+            "repro-batch=repro.cli:batch_main",
+        ]
+    },
+)

@@ -12,10 +12,13 @@ sampler's output, each served by one sub-module here:
   functional-equivalence argument)?
 * :mod:`~repro.analysis.statistics` — aggregate run statistics: trajectory
   summaries, speedups, timing fractions.
+* :mod:`~repro.analysis.aggregation` — cross-shard merging of decoy sets
+  and timing ledgers for the sharded runtime (:mod:`repro.runtime`).
 * :mod:`~repro.analysis.reporting` — plain-text tables in the style of the
   paper's tables, shared by the experiment drivers and the benches.
 """
 
+from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
 from repro.analysis.decoys import (
     DecoyQualityReport,
     TargetQuality,
@@ -46,6 +49,8 @@ from repro.analysis.statistics import (
 from repro.analysis.reporting import TextTable, format_seconds, render_rows
 
 __all__ = [
+    "merge_decoy_sets",
+    "merge_timing_ledgers",
     "DecoyQualityReport",
     "TargetQuality",
     "evaluate_decoy_set",

@@ -1,0 +1,77 @@
+"""Cross-shard aggregation of decoy sets and timing ledgers.
+
+A sharded run (see :mod:`repro.runtime`) produces one decoy set and two
+timing ledgers per shard.  Merging them answers the questions the
+single-trajectory analyses already answer, but over the whole run:
+
+* :func:`merge_decoy_sets` — the combined decoy set.  The default *union*
+  mode keeps every shard's decoys verbatim (the merged set equals the
+  union of the per-shard sets, in shard order), because each shard already
+  applied the distinctness rule internally and cross-shard near-duplicates
+  are themselves a signal (two independent trajectories landing in the
+  same torsion basin).  ``distinct_only=True`` instead re-applies the
+  30-degree rule across shards, yielding the paper's global decoy set.
+* :func:`merge_timing_ledgers` — summed kernel/host timing ledgers, so the
+  Fig. 1 / Table II style breakdowns can be rendered for a whole run.
+
+Merged sets feed straight into the existing single-set analyses — e.g.
+:func:`repro.analysis.decoys.evaluate_decoy_set` for a Table IV row.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.moscem.decoys import DecoySet
+from repro.utils.timing import TimingLedger
+
+__all__ = ["merge_decoy_sets", "merge_timing_ledgers"]
+
+
+def merge_decoy_sets(
+    sets: Iterable[DecoySet],
+    distinct_only: bool = False,
+    max_size: Optional[int] = None,
+    distinctness_threshold: Optional[float] = None,
+) -> DecoySet:
+    """Merge per-shard decoy sets into one.
+
+    Parameters
+    ----------
+    sets:
+        Decoy sets in shard order; their decoys are taken in insertion
+        order, so the merge is deterministic.
+    distinct_only:
+        When false (the default) every decoy is kept — the merged set is
+        the union of the inputs.  When true, the distinctness rule is
+        re-applied across shards: a decoy within the threshold of an
+        already-merged decoy is dropped.
+    max_size:
+        Optional cap on the merged set (only enforced in
+        ``distinct_only`` mode, mirroring :meth:`DecoySet.add`).
+    distinctness_threshold:
+        Threshold of the merged set; defaults to the first input's.
+    """
+    sets = list(sets)
+    if distinctness_threshold is None:
+        for candidate in sets:
+            distinctness_threshold = candidate.distinctness_threshold
+            break
+    kwargs = {}
+    if distinctness_threshold is not None:
+        kwargs["distinctness_threshold"] = distinctness_threshold
+    merged = DecoySet(max_size=max_size, **kwargs)
+    for decoy_set in sets:
+        for decoy in decoy_set:
+            merged.absorb(decoy, distinct_only=distinct_only)
+            if distinct_only and merged.full:
+                return merged
+    return merged
+
+
+def merge_timing_ledgers(ledgers: Iterable[TimingLedger]) -> TimingLedger:
+    """Fold per-shard timing ledgers into one summed ledger."""
+    merged = TimingLedger()
+    for ledger in ledgers:
+        merged.merge(ledger)
+    return merged

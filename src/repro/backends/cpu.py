@@ -121,7 +121,9 @@ class CPUBackend(SamplingBackend):
     def fitness_population(self, scores: np.ndarray) -> np.ndarray:
         """Strength fitness over the whole population."""
         with self.ledger.section("FitAssg within Population"):
-            return strength_fitness(scores)
+            return strength_fitness(
+                scores, block_size=self.config.kernel_block_size
+            )
 
     def fitness_within_complexes(
         self,
@@ -135,9 +137,14 @@ class CPUBackend(SamplingBackend):
         pop = population_scores.shape[0]
         current = np.empty(pop, dtype=np.float64)
         proposed = np.empty(pop, dtype=np.float64)
+        block_size = self.config.kernel_block_size
         with self.ledger.section("FitAssg within Complex"):
             for indices in complex_indices:
                 ref = population_scores[indices]
-                current[indices] = fitness_against(ref, population_scores[indices])
-                proposed[indices] = fitness_against(ref, proposal_scores[indices])
+                current[indices] = fitness_against(
+                    ref, population_scores[indices], block_size=block_size
+                )
+                proposed[indices] = fitness_against(
+                    ref, proposal_scores[indices], block_size=block_size
+                )
         return current, proposed

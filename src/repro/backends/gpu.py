@@ -15,6 +15,7 @@ Implements the paper's heterogeneous design on the simulated SIMT engine:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -22,6 +23,7 @@ import numpy as np
 from repro.backends.base import SamplingBackend
 from repro.closure.ccd import CCDResult, ccd_close_batch
 from repro.moscem.dominance import fitness_against, strength_fitness
+from repro.scoring.pairwise import resolve_block_size
 from repro.moscem.population import Population
 from repro.simt.device import DeviceSpec, GTX280
 from repro.simt.engine import SIMTEngine
@@ -142,8 +144,13 @@ class GPUBackend(SamplingBackend):
     def fitness_population(self, scores: np.ndarray) -> np.ndarray:
         """Strength fitness over the whole population as one kernel launch."""
         scores = np.asarray(scores, dtype=np.float64)
+        pop = scores.shape[0]
+        chunk = self.config.kernel_block_size
         fitness = self._launch(
-            "FitAssgPopulation", scores.shape[0], strength_fitness, scores
+            "FitAssgPopulation",
+            pop,
+            partial(strength_fitness, scores, block_size=chunk),
+            block_size=resolve_block_size(chunk, max(pop, 1)),
         )
         # Fitness values travel back to the host for sorting/partitioning.
         self.engine.memcpy(MemcpyKind.DEVICE_TO_HOST, fitness)
@@ -164,16 +171,27 @@ class GPUBackend(SamplingBackend):
             MemcpyKind.HOST_TO_DEVICE, np.concatenate(complex_indices)
         )
 
+        chunk = self.config.kernel_block_size
+
         def _kernel() -> Tuple[np.ndarray, np.ndarray]:
             current = np.empty(pop, dtype=np.float64)
             proposed = np.empty(pop, dtype=np.float64)
             for indices in complex_indices:
                 ref = population_scores[indices]
-                current[indices] = fitness_against(ref, population_scores[indices])
-                proposed[indices] = fitness_against(ref, proposal_scores[indices])
+                current[indices] = fitness_against(
+                    ref, population_scores[indices], block_size=chunk
+                )
+                proposed[indices] = fitness_against(
+                    ref, proposal_scores[indices], block_size=chunk
+                )
             return current, proposed
 
-        return self._launch("FitAssgComplex", pop, _kernel)
+        return self._launch(
+            "FitAssgComplex",
+            pop,
+            _kernel,
+            block_size=resolve_block_size(chunk, max(pop, 1)),
+        )
 
     # ------------------------------------------------------------------
     # Host synchronisation

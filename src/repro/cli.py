@@ -1,13 +1,13 @@
 """Command-line interface.
 
-Two entry points are exposed (see ``pyproject.toml``):
+Three entry points are exposed (see ``setup.py``):
 
 ``repro-experiments``
     Run one, several or all experiment drivers at a chosen scale and print
     their result tables, e.g.::
 
         repro-experiments --scale smoke fig1 table3
-        repro-experiments --scale default --all --markdown > results.md
+        repro-experiments --scale default --all --workers 4 --markdown > results.md
 
 ``repro-sample``
     Run the MOSCEM sampler on one benchmark target and print a summary of
@@ -15,15 +15,27 @@ Two entry points are exposed (see ``pyproject.toml``):
 
         repro-sample 1cex"(40:51)" --population 256 --iterations 20 \\
             --backend gpu --pdb best.pdb
+
+``repro-batch``
+    Orchestrate a sharded multi-trajectory run through the persistent run
+    store: submit a batch, watch its status, resume it after an
+    interruption, and merge the per-shard decoy sets, e.g.::
+
+        repro-batch submit 1cex"(40:51)" --trajectories 8 --workers 4 \\
+            --checkpoint-every 5
+        repro-batch status 1cex-40-51-s0
+        repro-batch resume 1cex-40-51-s0
+        repro-batch merge 1cex-40-51-s0 --distinct
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional, Sequence
 
-from repro.config import SamplingConfig
+from repro.config import RuntimeConfig, SamplingConfig
 from repro.experiments import list_experiments, run_experiments
 from repro.experiments.runner import PAPER_EXPERIMENTS
 from repro.loops.targets import benchmark_registry, get_target
@@ -31,7 +43,7 @@ from repro.moscem.sampler import MOSCEMSampler
 from repro.protein.pdb import loop_to_pdb
 from repro.utils.logging import configure_logging
 
-__all__ = ["experiments_main", "sample_main"]
+__all__ = ["experiments_main", "sample_main", "batch_main"]
 
 
 def _experiments_parser() -> argparse.ArgumentParser:
@@ -59,6 +71,12 @@ def _experiments_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="emit Markdown instead of plain text"
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes experiments fan out across (default: 1, sequential)",
+    )
     return parser
 
 
@@ -76,7 +94,7 @@ def experiments_main(argv: Optional[Sequence[str]] = None) -> int:
         ids = list(args.experiments)
     else:
         ids = list(PAPER_EXPERIMENTS)
-    report = run_experiments(ids, scale=args.scale, seed=args.seed)
+    report = run_experiments(ids, scale=args.scale, seed=args.seed, workers=args.workers)
     print(report.render_markdown() if args.markdown else report.render())
     return 0
 
@@ -155,6 +173,231 @@ def sample_main(argv: Optional[Sequence[str]] = None) -> int:
         loop_to_pdb(best.coords, target.sequence, args.pdb)
         print(f"best decoy written  : {args.pdb}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-batch: sharded multi-trajectory orchestration
+# ---------------------------------------------------------------------------
+
+_DEFAULT_RUNTIME = RuntimeConfig()
+
+
+def _default_run_id(target: str, seed: int) -> str:
+    """A store-safe run id derived from the target name and base seed."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", target).strip("-")
+    return f"{slug}-s{seed}"
+
+
+def _batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="Submit, inspect, resume and merge sharded MOSCEM runs.",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_RUNTIME.store_root,
+        help=f"run-store directory (default: {_DEFAULT_RUNTIME.store_root})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", help="register a batch of trajectories and run it"
+    )
+    submit.add_argument("target", help='target name, e.g. "1cex(40:51)"')
+    submit.add_argument("--run-id", default=None, help="run id (default: derived)")
+    submit.add_argument(
+        "--trajectories", type=int, default=4, help="number of shards (default: 4)"
+    )
+    submit.add_argument(
+        "--workers",
+        type=int,
+        default=_DEFAULT_RUNTIME.workers,
+        help=f"worker processes (default: {_DEFAULT_RUNTIME.workers})",
+    )
+    submit.add_argument(
+        "--backends",
+        default=",".join(_DEFAULT_RUNTIME.backends),
+        help="comma-separated backend kinds assigned round-robin "
+        f"(default: {','.join(_DEFAULT_RUNTIME.backends)})",
+    )
+    submit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=_DEFAULT_RUNTIME.checkpoint_every,
+        help="iterations between shard checkpoints, 0 disables "
+        f"(default: {_DEFAULT_RUNTIME.checkpoint_every})",
+    )
+    submit.add_argument("--population", type=int, default=256, help="population size")
+    submit.add_argument("--complexes", type=int, default=8, help="number of complexes")
+    submit.add_argument("--iterations", type=int, default=20, help="MOSCEM iterations")
+    submit.add_argument("--seed", type=int, default=0, help="base seed")
+    submit.add_argument(
+        "--block-size",
+        type=int,
+        default=0,
+        help="population members per batched-kernel chunk (0 = engine default)",
+    )
+    submit.add_argument(
+        "--no-merge",
+        action="store_true",
+        help="skip the automatic merge after the shards complete",
+    )
+
+    status = sub.add_parser("status", help="show per-shard progress of a run")
+    status.add_argument("run_id", nargs="?", default=None,
+                        help="run id (omit to list runs in the store)")
+
+    resume = sub.add_parser(
+        "resume", help="re-run the unfinished shards of a run from their checkpoints"
+    )
+    resume.add_argument("run_id", help="run id")
+    resume.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: the manifest's)",
+    )
+    resume.add_argument(
+        "--no-merge", action="store_true", help="skip the merge after resuming"
+    )
+
+    merge = sub.add_parser("merge", help="merge the per-shard decoy sets")
+    merge.add_argument("run_id", help="run id")
+    merge.add_argument(
+        "--distinct",
+        action="store_true",
+        help="re-apply the 30-degree distinctness rule across shards "
+        "(default: plain union)",
+    )
+    return parser
+
+
+def _print_batch_summary(spec, summaries, merged, workers=None) -> None:
+    print(f"run                 : {spec.run_id}")
+    print(f"target              : {spec.target}")
+    print(f"shards              : {len(summaries)} "
+          f"({spec.config.population_size} x {spec.config.iterations} each)")
+    print(f"workers             : {spec.workers if workers is None else workers}")
+    wall = max((s.get("wall_seconds") or 0.0) for s in summaries)
+    print(f"slowest shard       : {wall:.2f} s")
+    total = sum(s.get("n_decoys", 0) for s in summaries)
+    print(f"shard decoys        : {total}")
+    best = min(s.get("best_rmsd", float("inf")) for s in summaries)
+    print(f"best shard RMSD     : {best:.2f} A")
+    if merged is not None:
+        print(f"merged decoys       : {len(merged)}")
+        print(f"merged best RMSD    : {merged.best_rmsd():.2f} A")
+
+
+def _batch_submit(store, args) -> int:
+    from repro.runtime import RunSpec, ShardExecutor
+
+    run_id = args.run_id or _default_run_id(args.target, args.seed)
+    get_target(args.target)  # fail early on unknown targets
+    config = SamplingConfig(
+        population_size=args.population,
+        n_complexes=args.complexes,
+        iterations=args.iterations,
+        kernel_block_size=args.block_size,
+        seed=args.seed,
+    )
+    spec = RunSpec(
+        run_id=run_id,
+        target=args.target,
+        config=config,
+        n_trajectories=args.trajectories,
+        base_seed=args.seed,
+        backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+    )
+    store.create_run(spec, exist_ok=True)
+    executor = ShardExecutor(store, workers=args.workers, progress=print)
+    summaries = executor.execute(spec)
+    merged = None if args.no_merge else executor.merge(run_id)
+    _print_batch_summary(spec, summaries, merged)
+    return 0
+
+
+def _batch_status(store, args) -> int:
+    if args.run_id is None:
+        runs = store.list_runs()
+        if not runs:
+            print(f"no runs in store {store.root}")
+        for run_id in runs:
+            print(run_id)
+        return 0
+    manifest = store.load_manifest(args.run_id)
+    spec = manifest.spec
+    print(f"run {spec.run_id}: {spec.n_trajectories} shard(s) of "
+          f"{spec.target} ({spec.config.population_size} x "
+          f"{spec.config.iterations}, checkpoint every "
+          f"{spec.checkpoint_every or 'never'})")
+    header = f"{'shard':<12}{'backend':<14}{'state':<10}{'iteration':>10}{'decoys':>8}"
+    print(header)
+    for shard in spec.shards():
+        status = store.read_shard_status(spec.run_id, shard.index)
+        if store.has_shard_result(spec.run_id, shard.index):
+            # The result files are the ground truth; a shard killed between
+            # writing them and its final status update still shows as done,
+            # with the iteration and decoy counts the result recorded.
+            summary = store.load_shard_summary(spec.run_id, shard.index)
+            status["state"] = "done"
+            status["iteration"] = summary.get("iterations", status.get("iteration", 0))
+            status["n_decoys"] = summary.get("n_decoys", "")
+        iteration = status.get("iteration", 0)
+        decoys = status.get("n_decoys", "")
+        print(f"{shard.name:<12}{shard.backend:<14}{status.get('state', 'pending'):<10}"
+              f"{iteration:>6}/{spec.config.iterations:<4}{decoys!s:>7}")
+    from repro.runtime import RunStoreError
+
+    try:
+        merged = store.load_merged(spec.run_id)
+    except RunStoreError as exc:
+        if "not been merged" not in str(exc):
+            raise  # a corrupted merge summary should be loud, not "not merged"
+        print("merged: (not merged yet)")
+    else:
+        print(f"merged: {len(merged)} decoys, best RMSD {merged.best_rmsd():.2f} A")
+    return 0
+
+
+def _batch_resume(store, args) -> int:
+    from repro.runtime import ShardExecutor
+
+    manifest = store.load_manifest(args.run_id)
+    spec = manifest.spec
+    executor = ShardExecutor(store, workers=args.workers, progress=print)
+    summaries = executor.execute(spec)
+    merged = None if args.no_merge else executor.merge(spec.run_id)
+    _print_batch_summary(spec, summaries, merged, workers=args.workers)
+    return 0
+
+
+def _batch_merge(store, args) -> int:
+    from repro.runtime import ShardExecutor
+
+    executor = ShardExecutor(store, progress=print)
+    merged = executor.merge(args.run_id, distinct_only=args.distinct)
+    print(f"merged decoys       : {len(merged)}")
+    print(f"merged best RMSD    : {merged.best_rmsd():.2f} A")
+    return 0
+
+
+def batch_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-batch``."""
+    configure_logging()
+    args = _batch_parser().parse_args(argv)
+    from repro.runtime import RunStore
+
+    store = RunStore(args.store)
+    if args.command == "submit":
+        return _batch_submit(store, args)
+    if args.command == "status":
+        return _batch_status(store, args)
+    if args.command == "resume":
+        return _batch_resume(store, args)
+    if args.command == "merge":
+        return _batch_merge(store, args)
+    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

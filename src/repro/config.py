@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,6 +139,42 @@ class PaperConfig:
             iterations=self.iterations,
             seed=seed,
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Parameters of the sharded multi-trajectory runtime layer.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes the shard executor fans trajectories out to.
+        ``1`` executes shards inline in the submitting process (useful for
+        debugging and deterministic test runs).
+    checkpoint_every:
+        Sampler iterations between on-disk checkpoints of each shard.
+        ``0`` disables checkpointing (a killed shard then restarts from
+        scratch on resume).
+    store_root:
+        Directory of the persistent run store.
+    backends:
+        Backend kinds assigned to shards round-robin (each worker builds
+        its own backend through :func:`repro.backends.make_backend`).
+    """
+
+    workers: int = 2
+    checkpoint_every: int = 5
+    store_root: str = ".repro-runs"
+    backends: Tuple[str, ...] = ("gpu",)
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if not self.backends:
+            raise ValueError("backends must name at least one backend kind")
+        object.__setattr__(self, "backends", tuple(self.backends))
 
 
 @dataclasses.dataclass(frozen=True)

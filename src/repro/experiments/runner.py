@@ -2,13 +2,16 @@
 
 The runner is what the command-line interface, the examples and the
 EXPERIMENTS.md generator use: it instantiates registered experiment drivers,
-runs them at a chosen scale and collects their results.
+runs them at a chosen scale and collects their results.  Bulk runs route
+through the runtime executor's :func:`~repro.runtime.executor.parallel_map`,
+so multi-experiment reports (and with them the multi-target tables) spread
+across worker processes when ``workers > 1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.base import (
     EXPERIMENT_REGISTRY,
@@ -74,10 +77,18 @@ def run_experiment(
     return driver.run(scale)
 
 
+def _experiment_task(payload: Dict[str, Any]) -> ExperimentResult:
+    """Picklable worker entry point for one experiment driver run."""
+    return run_experiment(
+        payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+    )
+
+
 def run_experiments(
     experiment_ids: Optional[Iterable[str]] = None,
     scale: Scale = "smoke",
     seed: int = 0,
+    workers: int = 1,
 ) -> RunnerReport:
     """Run several experiments and bundle their results.
 
@@ -91,6 +102,11 @@ def run_experiments(
         Scale preset passed to every driver.
     seed:
         Seed passed to every driver.
+    workers:
+        Worker processes the experiments fan out across (``1`` runs them
+        sequentially in-process).  Results come back in request order
+        either way, and every driver seeds its own RNG streams, so the
+        report does not depend on ``workers``.
     """
     logger = get_logger("experiments")
     ids = list(experiment_ids) if experiment_ids is not None else list(PAPER_EXPERIMENTS)
@@ -99,8 +115,23 @@ def run_experiments(
         raise KeyError(
             f"unknown experiment ids: {unknown}; available: {list_experiments()}"
         )
-    report = RunnerReport(scale=scale)
-    for experiment_id in ids:
-        logger.info("running experiment %s at scale %s", experiment_id, scale)
-        report.results.append(run_experiment(experiment_id, scale=scale, seed=seed))
-    return report
+    from repro.runtime.executor import parallel_map
+
+    payloads = [
+        {"experiment_id": experiment_id, "scale": scale, "seed": seed}
+        for experiment_id in ids
+    ]
+    logger.info(
+        "running %d experiment(s) at scale %s on %d worker(s)",
+        len(ids), scale, max(1, workers),
+    )
+    results = parallel_map(
+        _experiment_task,
+        payloads,
+        workers,
+        on_result=lambda _i, result: logger.info(
+            "experiment %s finished in %.2f s",
+            result.experiment_id, result.wall_seconds,
+        ),
+    )
+    return RunnerReport(scale=scale, results=list(results))

@@ -5,19 +5,114 @@ non-dominated conformations are added to the decoy set: a conformation is
 distinct when, for every decoy already kept, the maximum deviation of its
 torsion angles is at least 30 degrees.  Trajectories are repeated with new
 seeds until the decoy set reaches the requested size (1,000 in the paper).
+
+The distinctness check is pruned by :class:`TorsionGrid`, a torsion-space
+analogue of the cartesian :class:`~repro.scoring.pairwise.EnvironmentGrid`
+cell list: decoys are bucketed by coarse modular bins over a few torsion
+coordinates, and only decoys in the 3x3x3 bin neighbourhood of a query can
+violate the "every torsion within the threshold" condition, so the check
+touches O(neighbours) stored decoys instead of all of them.  Pruning never
+changes the boolean outcome (omitted decoys provably deviate by at least
+the threshold in a binned coordinate), so the accumulated sets are
+identical to the all-pairs scan's.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro import constants
 from repro.geometry.vectors import angle_difference
 
-__all__ = ["Decoy", "DecoySet"]
+__all__ = ["Decoy", "DecoySet", "TorsionGrid"]
+
+
+class TorsionGrid:
+    """Modular cell list over wrapped torsion coordinates.
+
+    The distinctness rule marks a conformation as *conflicting* with a
+    stored decoy when **every** torsion deviates by less than the threshold
+    — a Chebyshev ball in wrapped torsion space.  The grid bins up to
+    ``max_dims`` torsion coordinates into circular bins at least the
+    threshold wide, so any conflicting decoy must sit in the same or an
+    adjacent bin along every gridded coordinate (the same 27-cell guarantee
+    the cartesian :class:`~repro.scoring.pairwise.EnvironmentGrid` relies
+    on, with modular wraparound instead of a padded border).
+    """
+
+    #: Number of leading torsion coordinates used for bucketing.  Three
+    #: dimensions mirror the cartesian grid's 3x3x3 neighbourhood; more
+    #: would prune harder but grow the neighbour enumeration 3x per dim.
+    _MAX_DIMS = 3
+
+    def __init__(self, threshold: float, n_torsions: int) -> None:
+        if not (threshold > 0.0):
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.dims = max(1, min(self._MAX_DIMS, int(n_torsions)))
+        two_pi = 2.0 * math.pi
+        # Widest bin count whose bin width is still >= threshold; the
+        # explicit shrink loop guards the float boundary case where
+        # floor(2*pi/threshold) bins end up a few ulp narrower.
+        n_bins = max(1, int(two_pi / self.threshold))
+        while n_bins > 1 and two_pi / n_bins < self.threshold:
+            n_bins -= 1
+        self.n_bins = n_bins
+        self._buckets: Dict[Tuple[int, ...], List[int]] = {}
+        #: The exact torsion arrays indexed, in insertion order — the cheap
+        #: identity fingerprint :meth:`DecoySet._fresh_grid` validates.
+        self.indexed: List[np.ndarray] = []
+        # Distinct modular neighbour offsets; with few bins the offsets
+        # collapse (e.g. 2 bins -> {0, 1}), degrading gracefully toward an
+        # unpruned scan while staying correct.
+        offsets = sorted({o % n_bins for o in (-1, 0, 1)})
+        self._neighbourhood = [
+            tuple(combo) for combo in itertools.product(offsets, repeat=self.dims)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.indexed)
+
+    def _key(self, torsions: np.ndarray) -> Tuple[int, ...]:
+        """Bin key of the leading gridded torsion coordinates."""
+        angles = np.mod(
+            np.asarray(torsions, dtype=np.float64)[: self.dims], 2.0 * math.pi
+        )
+        bins = np.floor(angles * (self.n_bins / (2.0 * math.pi))).astype(np.int64)
+        # An angle of exactly 2*pi after rounding lands on n_bins; wrap it.
+        return tuple(int(b) % self.n_bins for b in bins)
+
+    def add(self, index: int, torsions: np.ndarray) -> None:
+        """Register stored decoy ``index`` under its bin key."""
+        self._buckets.setdefault(self._key(torsions), []).append(int(index))
+        self.indexed.append(torsions)
+
+    def candidates(self, torsions: np.ndarray) -> Iterable[int]:
+        """Indices of stored decoys that could conflict with ``torsions``.
+
+        A superset of the true conflicts: every stored decoy whose maximum
+        torsion deviation is below the threshold is returned; omitted
+        decoys deviate by at least the threshold in some gridded
+        coordinate.
+        """
+        key = self._key(torsions)
+        seen_keys = set()
+        out: List[int] = []
+        for offsets in self._neighbourhood:
+            neighbour = tuple(
+                (k + o) % self.n_bins for k, o in zip(key, offsets)
+            )
+            if neighbour in seen_keys:
+                continue
+            seen_keys.add(neighbour)
+            out.extend(self._buckets.get(neighbour, ()))
+        out.sort()
+        return out
 
 
 @dataclass(frozen=True)
@@ -53,6 +148,7 @@ class DecoySet:
     distinctness_threshold: float = constants.DECOY_DISTINCTNESS_THRESHOLD
     max_size: Optional[int] = None
     decoys: List[Decoy] = field(default_factory=list)
+    _grid: Optional[TorsionGrid] = field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.decoys)
@@ -68,14 +164,63 @@ class DecoySet:
         """Whether the decoy set reached its size cap."""
         return self.max_size is not None and len(self.decoys) >= self.max_size
 
+    def _fresh_grid(self) -> Optional[TorsionGrid]:
+        """The torsion cell list, rebuilt if the decoy list changed under it.
+
+        The grid indexes decoys by position in ``self.decoys``; callers that
+        append through :meth:`add` / :meth:`absorb` keep it incrementally
+        up to date, while direct mutations of the public list (pops,
+        replacements, reorderings) are healed here by a rebuild.  Staleness
+        is detected by identity-comparing the indexed torsion arrays
+        against the live list — pointer checks, so the validation stays
+        O(size) with no array maths.
+        """
+        if not self.decoys:
+            self._grid = None
+            return None
+        grid = self._grid
+        in_sync = (
+            grid is not None
+            and len(grid) == len(self.decoys)
+            and all(
+                indexed is decoy.torsions
+                for indexed, decoy in zip(grid.indexed, self.decoys)
+            )
+        )
+        if not in_sync:
+            grid = TorsionGrid(
+                self.distinctness_threshold, self.decoys[0].torsions.shape[0]
+            )
+            for index, decoy in enumerate(self.decoys):
+                grid.add(index, decoy.torsions)
+            self._grid = grid
+        return self._grid
+
     def is_distinct(self, torsions: np.ndarray) -> bool:
-        """Whether a torsion vector is distinct from every stored decoy."""
+        """Whether a torsion vector is distinct from every stored decoy.
+
+        Only decoys in the torsion-grid neighbourhood are examined; the
+        outcome is identical to scanning every stored decoy.
+        """
         torsions = np.asarray(torsions, dtype=np.float64)
-        for decoy in self.decoys:
+        grid = self._fresh_grid()
+        if grid is None:
+            return True
+        for index in grid.candidates(torsions):
+            decoy = self.decoys[index]
             deviation = np.abs(angle_difference(torsions, decoy.torsions))
             if float(np.max(deviation)) < self.distinctness_threshold:
                 return False
         return True
+
+    def _append(self, decoy: Decoy) -> None:
+        """Append a decoy, keeping the torsion grid in sync."""
+        grid = self._fresh_grid()
+        self.decoys.append(decoy)
+        if grid is None:
+            grid = self._fresh_grid()
+        else:
+            grid.add(len(self.decoys) - 1, decoy.torsions)
 
     def add(
         self,
@@ -93,7 +238,7 @@ class DecoySet:
             return False
         if not self.is_distinct(torsions):
             return False
-        self.decoys.append(
+        self._append(
             Decoy(
                 torsions=np.asarray(torsions, dtype=np.float64).copy(),
                 coords=np.asarray(coords, dtype=np.float64).copy(),
@@ -102,6 +247,26 @@ class DecoySet:
                 trajectory=trajectory,
             )
         )
+        return True
+
+    def absorb(self, decoy: Decoy, distinct_only: bool = False) -> bool:
+        """Take an already-built :class:`Decoy` into the set.
+
+        The plain-union form (``distinct_only=False``, the default) is what
+        cross-shard merging uses: every shard's decoys are kept verbatim, so
+        the merged set equals the union of the per-shard sets.  With
+        ``distinct_only=True`` the decoy is subject to the usual
+        distinctness rule and size cap.
+        """
+        if distinct_only:
+            return self.add(
+                torsions=decoy.torsions,
+                coords=decoy.coords,
+                scores=decoy.scores,
+                rmsd=decoy.rmsd,
+                trajectory=decoy.trajectory,
+            )
+        self._append(decoy)
         return True
 
     def rmsds(self) -> np.ndarray:

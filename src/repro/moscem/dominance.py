@@ -14,11 +14,23 @@ in at least one.  Following the paper:
 
 Hence "fitness < 1" identifies the current Pareto-optimal front, the
 property the sampler uses when harvesting decoys.
+
+The fitness kernels never materialise the full ``(N, N)`` dominance matrix:
+they stream over column blocks (the population-chunking helpers of
+:mod:`repro.scoring.pairwise`, sized by ``SamplingConfig.kernel_block_size``)
+so the peak temporary is ``(N, B, K)``.  Every accumulation is either integer
+(domination counts, any-reductions) or a full-length reduction along the
+unchunked axis, so the chunked results are bit-identical to the dense path
+for every block size.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
+
+from repro.scoring.pairwise import population_blocks
 
 __all__ = [
     "dominates",
@@ -52,14 +64,73 @@ def dominance_matrix(scores: np.ndarray) -> np.ndarray:
     return leq & lt
 
 
-def non_dominated_mask(scores: np.ndarray) -> np.ndarray:
-    """Boolean mask of the members not dominated by any other member."""
-    dom = dominance_matrix(scores)
-    return ~np.any(dom, axis=0)
+def _dominance_columns(
+    scores: np.ndarray, column_scores: np.ndarray
+) -> np.ndarray:
+    """``(N, B)`` block: whether each of N members dominates each column."""
+    leq = np.all(scores[:, None, :] <= column_scores[None, :, :], axis=-1)
+    lt = np.any(scores[:, None, :] < column_scores[None, :, :], axis=-1)
+    return leq & lt
 
 
-def strength_fitness(scores: np.ndarray) -> np.ndarray:
+def _strength_pass(
+    scores: np.ndarray, block_size: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chunked first pass: non-dominated mask and integer domination counts.
+
+    Streams column blocks of the dominance matrix; the dominated mask is an
+    any-reduction and the domination counts are integer sums, so the result
+    does not depend on the block size.  Counts of dominated members are
+    zeroed — they never contribute to fitness sums.
+    """
+    n = scores.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    counts = np.zeros(n, dtype=np.int64)
+    for block in population_blocks(n, block_size):
+        dom = _dominance_columns(scores, scores[block])
+        dominated[block] = np.any(dom, axis=0)
+        counts += dom.sum(axis=1)
+    nd_mask = ~dominated
+    counts[dominated] = 0
+    return nd_mask, counts
+
+
+def non_dominated_mask(
+    scores: np.ndarray, block_size: Optional[int] = None
+) -> np.ndarray:
+    """Boolean mask of the members not dominated by any other member.
+
+    Parameters
+    ----------
+    scores:
+        ``(N, K)`` score matrix.
+    block_size:
+        Column chunk size (see :func:`repro.scoring.pairwise.population_blocks`);
+        the peak temporary is ``(N, B, K)`` instead of ``(N, N, K)``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must have shape (N, K)")
+    n = scores.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    for block in population_blocks(n, block_size):
+        dominated[block] = np.any(_dominance_columns(scores, scores[block]), axis=0)
+    return ~dominated
+
+
+def strength_fitness(
+    scores: np.ndarray, block_size: Optional[int] = None
+) -> np.ndarray:
     """Fitness of every member of a score set, per the paper's Eq. (1).
+
+    Parameters
+    ----------
+    scores:
+        ``(N, K)`` score matrix.
+    block_size:
+        Population chunk size bounding the dominance temporaries (``None``
+        or ``0`` selects the engine default); the result is bit-identical
+        for every value.
 
     Returns
     -------
@@ -68,30 +139,34 @@ def strength_fitness(scores: np.ndarray) -> np.ndarray:
         (Pareto-front) members.
     """
     scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must have shape (N, K)")
     n = scores.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.float64)
-    dom = dominance_matrix(scores)  # dom[i, j]: i dominates j
-    nd_mask = ~np.any(dom, axis=0)
-
-    # Strength of each non-dominated member: fraction of the population it
-    # dominates.  (Dominated members are assigned zero strength; they never
-    # contribute to fitness sums.)
-    strengths = np.where(nd_mask, dom.sum(axis=1) / float(n), 0.0)
+    nd_mask, counts = _strength_pass(scores, block_size)
 
     fitness = np.empty(n, dtype=np.float64)
     # Non-dominated: fitness equals own strength (< 1 by construction).
-    fitness[nd_mask] = strengths[nd_mask]
+    fitness[nd_mask] = counts[nd_mask] / float(n)
     # Dominated: 1 + sum of strengths of the non-dominated members that
-    # dominate them.
+    # dominate them.  The strengths share the denominator n, so the sum is
+    # accumulated on the integer domination counts and divided once —
+    # exact, hence independent of the column chunking.
     dominated_idx = np.where(~nd_mask)[0]
-    if dominated_idx.size:
-        dominators = dom[:, dominated_idx] & nd_mask[:, None]
-        fitness[dominated_idx] = 1.0 + (strengths[:, None] * dominators).sum(axis=0)
+    for block in population_blocks(dominated_idx.size, block_size):
+        cols = dominated_idx[block]
+        dominators = _dominance_columns(scores, scores[cols]) & nd_mask[:, None]
+        count_sums = (counts[:, None] * dominators).sum(axis=0)
+        fitness[cols] = 1.0 + count_sums / float(n)
     return fitness
 
 
-def fitness_against(reference_scores: np.ndarray, query_scores: np.ndarray) -> np.ndarray:
+def fitness_against(
+    reference_scores: np.ndarray,
+    query_scores: np.ndarray,
+    block_size: Optional[int] = None,
+) -> np.ndarray:
     """Fitness of query conformations evaluated against a reference set.
 
     Used by the Metropolis step: the fitness of a proposed conformation (and
@@ -105,6 +180,10 @@ def fitness_against(reference_scores: np.ndarray, query_scores: np.ndarray) -> n
         ``(N, K)`` scores of the reference set (the complex).
     query_scores:
         ``(Q, K)`` scores of the query conformations.
+    block_size:
+        Query chunk size bounding the ``(N, Q)`` cross-dominance temporaries
+        (``None`` or ``0`` selects the engine default); the result is
+        bit-identical for every value.
 
     Returns
     -------
@@ -121,29 +200,33 @@ def fitness_against(reference_scores: np.ndarray, query_scores: np.ndarray) -> n
     if n == 0:
         return np.zeros(q, dtype=np.float64)
 
-    # Dominance among reference members (for strengths).
-    ref_dom = dominance_matrix(reference_scores)
-    ref_nd = ~np.any(ref_dom, axis=0)
-    strengths = np.where(ref_nd, ref_dom.sum(axis=1) / float(n), 0.0)
-
-    # Dominance of reference members over queries and vice versa.
-    ref_le_q = np.all(reference_scores[:, None, :] <= query_scores[None, :, :], axis=-1)
-    ref_lt_q = np.any(reference_scores[:, None, :] < query_scores[None, :, :], axis=-1)
-    ref_dominates_query = ref_le_q & ref_lt_q  # (N, Q)
-
-    q_le_ref = np.all(query_scores[:, None, :] <= reference_scores[None, :, :], axis=-1)
-    q_lt_ref = np.any(query_scores[:, None, :] < reference_scores[None, :, :], axis=-1)
-    query_dominates_ref = q_le_ref & q_lt_ref  # (Q, N)
+    # Domination counts of the reference set (chunked over reference
+    # columns); counts of dominated reference members are already zeroed.
+    ref_nd, ref_counts = _strength_pass(reference_scores, block_size)
 
     fitness = np.empty(q, dtype=np.float64)
-    query_nd = ~np.any(ref_dominates_query, axis=0)  # (Q,)
+    for block in population_blocks(q, block_size):
+        queries = query_scores[block]
+        # (N, B): reference member i dominates query j of the block.
+        ref_dominates_query = _dominance_columns(reference_scores, queries)
+        query_nd = ~np.any(ref_dominates_query, axis=0)  # (B,)
+        block_fitness = np.empty(queries.shape[0], dtype=np.float64)
 
-    # Non-dominated queries: strength relative to the reference set.
-    fitness[query_nd] = query_dominates_ref[query_nd].sum(axis=1) / float(n)
-    # Dominated queries: 1 + sum of strengths of dominating non-dominated
-    # reference members.
-    dominated = ~query_nd
-    if np.any(dominated):
-        dominators = ref_dominates_query[:, dominated] & ref_nd[:, None]
-        fitness[dominated] = 1.0 + (strengths[:, None] * dominators).sum(axis=0)
+        # Non-dominated queries: strength relative to the reference set
+        # (integer domination counts over the full reference axis).
+        if np.any(query_nd):
+            # (B_nd, N): non-dominated query i dominates reference member j.
+            query_dominates_ref = _dominance_columns(
+                queries[query_nd], reference_scores
+            )
+            block_fitness[query_nd] = query_dominates_ref.sum(axis=1) / float(n)
+        # Dominated queries: 1 + sum of strengths of dominating
+        # non-dominated reference members (full reference-axis reduction).
+        dominated = ~query_nd
+        if np.any(dominated):
+            dominators = ref_dominates_query[:, dominated] & ref_nd[:, None]
+            # Integer count accumulation, one division (see strength_fitness).
+            count_sums = (ref_counts[:, None] * dominators).sum(axis=0)
+            block_fitness[dominated] = 1.0 + count_sums / float(n)
+        fitness[block] = block_fitness
     return fitness

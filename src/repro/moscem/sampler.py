@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,7 +39,52 @@ from repro.scoring.base import MultiScore
 from repro.utils.rng import RandomStreams
 from repro.utils.timing import TimingLedger
 
-__all__ = ["MOSCEMSampler", "SamplingResult"]
+__all__ = ["MOSCEMSampler", "SamplerState", "SamplingResult"]
+
+
+@dataclass
+class SamplerState:
+    """Everything one MOSCEM trajectory needs to continue bit-identically.
+
+    The state after ``iteration`` completed iterations: the population
+    (torsions, coordinates, closure atoms, scores, fitness), the adaptive
+    temperature schedule, the per-iteration histories, and the live random
+    generators of the two stochastic components (mutation proposals and
+    Metropolis draws).  A trajectory resumed from a restored state replays
+    the exact array contents and RNG draws of an uninterrupted run, which
+    is what the checkpoint/resume layer in :mod:`repro.runtime` relies on.
+    """
+
+    iteration: int
+    population: Population
+    schedule: TemperatureSchedule
+    mutation_rng: np.random.Generator
+    metropolis_rng: np.random.Generator
+    acceptance_history: List[float] = field(default_factory=list)
+    temperature_history: List[float] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def rng_states(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serialisable bit-generator states of the live streams."""
+        return {
+            "mutation": self.mutation_rng.bit_generator.state,
+            "metropolis": self.metropolis_rng.bit_generator.state,
+        }
+
+    def restore_rng_states(self, states: Dict[str, Dict[str, Any]]) -> None:
+        """Load previously captured bit-generator states into the streams."""
+        for name, rng in (
+            ("mutation", self.mutation_rng),
+            ("metropolis", self.metropolis_rng),
+        ):
+            state = states[name]
+            expected = rng.bit_generator.state["bit_generator"]
+            if state.get("bit_generator") != expected:
+                raise ValueError(
+                    f"RNG state for {name!r} was produced by "
+                    f"{state.get('bit_generator')!r}, expected {expected!r}"
+                )
+            rng.bit_generator.state = state
 
 
 @dataclass
@@ -93,8 +138,14 @@ class SamplingResult:
         """Number of non-dominated conformations in the final population."""
         return int(self.non_dominated.sum())
 
-    def distinct_non_dominated(self, threshold: Optional[float] = None) -> DecoySet:
-        """The structurally distinct non-dominated conformations as a decoy set."""
+    def distinct_non_dominated(
+        self, threshold: Optional[float] = None, trajectory: int = 0
+    ) -> DecoySet:
+        """The structurally distinct non-dominated conformations as a decoy set.
+
+        ``trajectory`` tags every harvested decoy with its trajectory (or
+        shard) index, so cross-shard merges keep their provenance.
+        """
         kwargs = {} if threshold is None else {"distinctness_threshold": threshold}
         decoys = DecoySet(**kwargs)
         indices = np.where(self.non_dominated)[0]
@@ -108,6 +159,7 @@ class SamplingResult:
                 coords=self.population.coords[i],
                 scores=self.population.scores[i],
                 rmsd=float(self.rmsd[i]),
+                trajectory=trajectory,
             )
         return decoys
 
@@ -139,6 +191,11 @@ class MOSCEMSampler:
             backend = make_backend(backend_kind, target, multi_score, self.config)
         self.backend = backend
         self.ramachandran = ramachandran if ramachandran is not None else RamachandranModel()
+        # The complex layout is a pure function of the (frozen) config;
+        # computed once rather than on every iteration.
+        self._complex_layout = partition_population(
+            self.config.population_size, self.config.n_complexes
+        )
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -154,131 +211,202 @@ class MOSCEMSampler:
     # Sampling
     # ------------------------------------------------------------------
 
-    def run(
-        self,
-        seed: Optional[int] = None,
-        snapshot_iterations: Sequence[int] = (),
-    ) -> SamplingResult:
-        """Run one sampling trajectory.
+    def initial_state(
+        self, seed: Optional[int] = None, host_ledger: Optional[TimingLedger] = None
+    ) -> SamplerState:
+        """Initialise a trajectory: population, schedule and RNG streams.
 
-        Parameters
-        ----------
-        seed:
-            Optional override of the configuration seed.
-        snapshot_iterations:
-            Iterations at which the non-dominated set is recorded (0 records
-            the state right after initialisation), used by the Fig. 5
-            experiment.
+        The returned :class:`SamplerState` sits at ``iteration == 0``, with
+        the initial population closed, scored and fitness-assigned.
         """
         config = self.config
-        streams = RandomStreams(config.seed if seed is None else seed)
+        effective_seed = config.seed if seed is None else seed
+        streams = RandomStreams(effective_seed)
         mutation_rng = streams.get("mutation")
         metropolis_rng = streams.get("metropolis")
         init_rng = streams.get("initialization")
+        if host_ledger is None:
+            host_ledger = TimingLedger()
 
-        host_ledger = TimingLedger()
-        recorder = TrajectoryRecorder(iterations=snapshot_iterations)
         schedule = TemperatureSchedule(
             temperature=config.temperature,
             target_acceptance=config.target_acceptance,
             minimum=config.temperature_min,
             maximum=config.temperature_max,
         )
-        acceptance_history: List[float] = []
-        temperature_history: List[float] = []
 
-        start = time.perf_counter()
-
-        # -- Initialisation ------------------------------------------------
         with host_ledger.section("Initialization"):
             torsions = self.initialize_population(init_rng)
         population = self.backend.initialize(torsions)
         population.fitness = self.backend.fitness_population(population.scores)
 
-        if recorder.wants(0):
-            rmsd0 = self.target.rmsd_to_native_batch(population.coords)
-            recorder.record(0, population.scores, rmsd0, schedule.temperature, 0.0)
+        return SamplerState(
+            iteration=0,
+            population=population,
+            schedule=schedule,
+            mutation_rng=mutation_rng,
+            metropolis_rng=metropolis_rng,
+            seed=effective_seed,
+        )
 
-        complex_layout = partition_population(config.population_size, config.n_complexes)
+    def step(self, state: SamplerState, host_ledger: Optional[TimingLedger] = None) -> float:
+        """Advance one MOSCEM iteration in place; returns the acceptance rate.
 
-        # -- MCMC iterations -------------------------------------------------
-        for iteration in range(1, config.iterations + 1):
-            # [FitAssg] over the whole population (kernel).
-            population.fitness = self.backend.fitness_population(population.scores)
-            self.backend.sync_to_host(population)
+        One iteration is: population-wide fitness assignment, fitness sort
+        and complex partition, mutation proposals, CCD closure and scoring,
+        complex-wise fitness, Metropolis acceptance, assembly, and the
+        temperature update.  The state's iteration counter is incremented
+        after the iteration completes.
+        """
+        config = self.config
+        population = state.population
+        schedule = state.schedule
+        if host_ledger is None:
+            host_ledger = TimingLedger()
+        complex_layout = self._complex_layout
 
-            # [FitSort] + [Partition] on the host.
-            with host_ledger.section("FitSort"):
-                order = np.argsort(population.fitness, kind="stable")
-            with host_ledger.section("Partition"):
-                complexes = [order[idx] for idx in complex_layout]
+        # [FitAssg] over the whole population (kernel).
+        population.fitness = self.backend.fitness_population(population.scores)
+        self.backend.sync_to_host(population)
 
-            # [Reproduction] on the host: propose a mutation for every member.
-            with host_ledger.section("Reproduction"):
-                proposals, ccd_starts = mutate_population(
-                    population.torsions,
-                    self.target.sequence,
-                    mutation_rng,
-                    n_angles=config.mutation_angles,
-                    sigma=config.mutation_sigma,
-                )
-            self.backend.sync_to_device(population)
+        # [FitSort] + [Partition] on the host.
+        with host_ledger.section("FitSort"):
+            order = np.argsort(population.fitness, kind="stable")
+        with host_ledger.section("Partition"):
+            complexes = [order[idx] for idx in complex_layout]
 
-            # [CCD] + scoring kernels.
-            ccd = self.backend.close_loops(proposals, ccd_starts)
-            proposal_scores = self.backend.evaluate_scores(ccd.coords, ccd.torsions)
-
-            # [FitAssg] within complexes + [Metropolis].
-            current_fit, proposal_fit = self.backend.fitness_within_complexes(
-                population.scores, proposal_scores, complexes
+        # [Reproduction] on the host: propose a mutation for every member.
+        with host_ledger.section("Reproduction"):
+            proposals, ccd_starts = mutate_population(
+                population.torsions,
+                self.target.sequence,
+                state.mutation_rng,
+                n_angles=config.mutation_angles,
+                sigma=config.mutation_sigma,
             )
-            accept = metropolis_accept(
-                current_fit, proposal_fit, schedule.temperature, metropolis_rng
+        self.backend.sync_to_device(population)
+
+        # [CCD] + scoring kernels.
+        ccd = self.backend.close_loops(proposals, ccd_starts)
+        proposal_scores = self.backend.evaluate_scores(ccd.coords, ccd.torsions)
+
+        # [FitAssg] within complexes + [Metropolis].
+        current_fit, proposal_fit = self.backend.fitness_within_complexes(
+            population.scores, proposal_scores, complexes
+        )
+        accept = metropolis_accept(
+            current_fit, proposal_fit, schedule.temperature, state.metropolis_rng
+        )
+        if config.require_closure:
+            # Only proposals satisfying the loop-closure condition are
+            # admissible loop models (Section III.C of the paper).
+            closed = ccd.closure_error <= (
+                config.ccd_tolerance * config.closure_tolerance_factor
             )
-            if config.require_closure:
-                # Only proposals satisfying the loop-closure condition are
-                # admissible loop models (Section III.C of the paper).
-                closed = ccd.closure_error <= (
-                    config.ccd_tolerance * config.closure_tolerance_factor
-                )
-                accept &= closed
+            accept &= closed
 
-            with host_ledger.section("Assemble"):
-                accepted = np.where(accept)[0]
-                if accepted.size:
-                    population.torsions[accepted] = ccd.torsions[accepted]
-                    population.coords[accepted] = ccd.coords[accepted]
-                    population.closure[accepted] = ccd.closure[accepted]
-                    population.scores[accepted] = proposal_scores[accepted]
+        with host_ledger.section("Assemble"):
+            accepted = np.where(accept)[0]
+            if accepted.size:
+                population.torsions[accepted] = ccd.torsions[accepted]
+                population.coords[accepted] = ccd.coords[accepted]
+                population.closure[accepted] = ccd.closure[accepted]
+                population.scores[accepted] = proposal_scores[accepted]
 
-            rate = float(accept.mean())
-            acceptance_history.append(rate)
-            temperature_history.append(schedule.temperature)
-            schedule.update(rate)
+        rate = float(accept.mean())
+        state.acceptance_history.append(rate)
+        state.temperature_history.append(schedule.temperature)
+        schedule.update(rate)
+        state.iteration += 1
+        return rate
 
-            if recorder.wants(iteration):
-                rmsd_now = self.target.rmsd_to_native_batch(population.coords)
-                recorder.record(
-                    iteration, population.scores, rmsd_now, schedule.temperature, rate
-                )
-
-        # -- Wrap-up ---------------------------------------------------------
+    def finalize_state(
+        self,
+        state: SamplerState,
+        recorder: Optional[TrajectoryRecorder] = None,
+        host_ledger: Optional[TimingLedger] = None,
+        wall_seconds: float = 0.0,
+    ) -> SamplingResult:
+        """Wrap up a trajectory: final fitness, readback and result packing."""
+        population = state.population
         population.fitness = self.backend.fitness_population(population.scores)
         self.backend.finalize(population)
         rmsd = self.target.rmsd_to_native_batch(population.coords)
-        wall = time.perf_counter() - start
-
         return SamplingResult(
             population=population,
             rmsd=rmsd,
             non_dominated=non_dominated_mask(population.scores),
-            recorder=recorder,
-            host_ledger=host_ledger,
+            recorder=recorder if recorder is not None else TrajectoryRecorder(),
+            host_ledger=host_ledger if host_ledger is not None else TimingLedger(),
             kernel_ledger=self.backend.ledger,
-            acceptance_history=acceptance_history,
-            temperature_history=temperature_history,
-            wall_seconds=wall,
+            acceptance_history=state.acceptance_history,
+            temperature_history=state.temperature_history,
+            wall_seconds=wall_seconds,
             backend_name=self.backend.name,
+        )
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        snapshot_iterations: Sequence[int] = (),
+        state: Optional[SamplerState] = None,
+        on_iteration: Optional[Callable[[SamplerState], None]] = None,
+    ) -> SamplingResult:
+        """Run one sampling trajectory (possibly resuming a restored state).
+
+        Parameters
+        ----------
+        seed:
+            Optional override of the configuration seed (ignored when
+            ``state`` is given — the state carries its own RNG streams).
+        snapshot_iterations:
+            Iterations at which the non-dominated set is recorded (0 records
+            the state right after initialisation), used by the Fig. 5
+            experiment.
+        state:
+            A previously captured :class:`SamplerState` to continue from
+            (e.g. one restored from an on-disk checkpoint).  The trajectory
+            proceeds from ``state.iteration`` to ``config.iterations``; the
+            final population, scores, histories and RNG draws are
+            bit-identical to a run that was never interrupted.  Note that
+            the *recorder* only covers the resumed segment: snapshots for
+            iterations at or before ``state.iteration`` (including 0) were
+            taken by the interrupted process and are not replayed.
+        on_iteration:
+            Optional hook called with the live state after every completed
+            iteration — the attachment point for periodic checkpointing.
+        """
+        config = self.config
+        host_ledger = TimingLedger()
+        recorder = TrajectoryRecorder(iterations=snapshot_iterations)
+
+        start = time.perf_counter()
+
+        if state is None:
+            state = self.initial_state(seed=seed, host_ledger=host_ledger)
+            if recorder.wants(0):
+                rmsd0 = self.target.rmsd_to_native_batch(state.population.coords)
+                recorder.record(
+                    0, state.population.scores, rmsd0, state.schedule.temperature, 0.0
+                )
+
+        while state.iteration < config.iterations:
+            rate = self.step(state, host_ledger=host_ledger)
+            if recorder.wants(state.iteration):
+                rmsd_now = self.target.rmsd_to_native_batch(state.population.coords)
+                recorder.record(
+                    state.iteration,
+                    state.population.scores,
+                    rmsd_now,
+                    state.schedule.temperature,
+                    rate,
+                )
+            if on_iteration is not None:
+                on_iteration(state)
+
+        wall = time.perf_counter() - start
+        return self.finalize_state(
+            state, recorder=recorder, host_ledger=host_ledger, wall_seconds=wall
         )
 
     # ------------------------------------------------------------------

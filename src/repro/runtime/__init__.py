@@ -1,0 +1,55 @@
+"""Sharded multi-trajectory orchestration with checkpoint/resume.
+
+The paper's headline numbers come from many independent MOSCEM trajectories
+per loop target; this package is the layer that treats each trajectory as a
+schedulable, restartable unit:
+
+* :mod:`~repro.runtime.spec` — :class:`RunSpec` / :class:`RunManifest`
+  describe a batch of trajectories (target x config x seed x backend) with
+  deterministic per-shard seed derivation;
+* :mod:`~repro.runtime.store` — :class:`RunStore`, the persistent on-disk
+  store of manifests, checkpoints, per-shard decoy sets and timing ledgers;
+* :mod:`~repro.runtime.checkpoint` — serialisation of the sampler's
+  :class:`~repro.moscem.sampler.SamplerState` (``npz`` arrays + JSON
+  manifest with a content hash), so an interrupted shard resumes
+  bit-identically to an uninterrupted one;
+* :mod:`~repro.runtime.executor` — :class:`ShardExecutor`, the process-pool
+  fan-out that runs shards across workers, streams per-shard progress, and
+  merges decoy sets and timing ledgers on completion.
+
+The ``repro-batch`` command-line entry point (submit / status / resume /
+merge) is the user-facing surface of this package; every future scaling
+layer (async serving, caching, island-model migration) plugs in above the
+same executor.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.executor import (
+    ShardExecutor,
+    ShardFailure,
+    parallel_map,
+    run_shard,
+)
+from repro.runtime.spec import RunManifest, RunSpec, ShardSpec
+from repro.runtime.store import RunStore, RunStoreError
+
+__all__ = [
+    "CheckpointError",
+    "has_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ShardExecutor",
+    "ShardFailure",
+    "parallel_map",
+    "run_shard",
+    "RunManifest",
+    "RunSpec",
+    "ShardSpec",
+    "RunStore",
+    "RunStoreError",
+]

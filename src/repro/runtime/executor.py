@@ -1,0 +1,363 @@
+"""Process-pool shard executor.
+
+The executor fans the shards of a :class:`~repro.runtime.spec.RunSpec` out
+across worker processes.  Each worker is self-sufficient: it rebuilds the
+target from its registry name, constructs its own backend through
+:func:`repro.backends.make_backend`, and talks to the run store only
+through the file system — the only data crossing the process boundary are
+small picklable dicts (shard payloads in, shard summaries out), so the
+executor scales to decoy sets far larger than a pipe buffer.
+
+Execution of one shard:
+
+1. if the shard already has a result on disk, return its summary (idempotent
+   re-submits and resumes);
+2. if a checkpoint exists, restore the :class:`SamplerState` from it —
+   resumed trajectories are bit-identical to uninterrupted ones;
+3. run the sampler, checkpointing every ``checkpoint_every`` iterations and
+   updating the shard's status document (the live progress ``repro-batch
+   status`` reads);
+4. harvest the structurally distinct non-dominated decoys and write the
+   shard result.
+
+:func:`parallel_map` is the shared fan-out primitive; the experiment runner
+reuses it to parallelise multi-target tables.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
+from repro.moscem.decoys import DecoySet
+from repro.runtime.checkpoint import has_checkpoint, load_checkpoint, save_checkpoint
+from repro.runtime.spec import RunSpec, ShardSpec, shard_name
+from repro.runtime.store import RunStore
+from repro.utils.logging import get_logger
+
+__all__ = ["ShardExecutor", "ShardFailure", "parallel_map", "run_shard"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Callback receiving one progress line per event.
+ProgressFn = Callable[[str], None]
+
+
+class ShardFailure(RuntimeError):
+    """One or more shards of a run failed."""
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: int,
+    on_result: Optional[Callable[[int, _R], None]] = None,
+) -> List[_R]:
+    """Map ``fn`` over ``items`` across worker processes, in input order.
+
+    ``fn`` and every item must be picklable.  With ``workers <= 1`` (or a
+    single item) the map runs inline in the calling process, which keeps
+    tracebacks direct and avoids pool start-up for trivial batches.
+    ``on_result`` is called as ``(index, result)`` the moment an item
+    finishes — out of order — which is what streams per-shard progress.
+    """
+    items = list(items)
+    results: List[Any] = [None] * len(items)
+    if not items:
+        return results
+    if workers <= 1 or len(items) == 1:
+        for index, item in enumerate(items):
+            results[index] = fn(item)
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
+
+    max_workers = min(workers, len(items))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                results[index] = future.result()
+                if on_result is not None:
+                    on_result(index, results[index])
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (runs inside worker processes)
+# ---------------------------------------------------------------------------
+
+
+def _build_sampler(spec: RunSpec, shard: ShardSpec):
+    """Construct the target, backend and sampler for one shard."""
+    from repro.backends import make_backend
+    from repro.loops.targets import get_target
+    from repro.moscem.sampler import MOSCEMSampler
+    from repro.scoring import default_multi_score
+
+    target = get_target(spec.target)
+    config = spec.config
+    multi_score = default_multi_score(target, block_size=config.kernel_block_size)
+    backend = make_backend(shard.backend, target, multi_score, config)
+    return MOSCEMSampler(
+        target, config=config, multi_score=multi_score, backend=backend
+    )
+
+
+def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
+    """Execute (or resume) one shard to completion; returns its summary.
+
+    Runs inside a worker process, but is equally callable inline — the
+    executor with ``workers=1`` and the tests use the same code path.
+    """
+    shard = spec.shard(index)
+    shard_dir = store.shard_dir(spec.run_id, index)
+
+    if store.has_shard_result(spec.run_id, index):
+        return store.load_shard_summary(spec.run_id, index)
+
+    sampler = _build_sampler(spec, shard)
+    state = None
+    resumed_from = None
+    if has_checkpoint(shard_dir):
+        state = load_checkpoint(shard_dir, sampler)
+        resumed_from = state.iteration
+
+    store.write_shard_status(
+        spec.run_id,
+        index,
+        state="running",
+        pid=os.getpid(),
+        iteration=0 if state is None else state.iteration,
+        iterations=spec.config.iterations,
+        backend=shard.backend,
+        seed=shard.seed,
+        resumed_from=resumed_from,
+    )
+
+    def _on_iteration(live_state) -> None:
+        if (
+            spec.checkpoint_every > 0
+            and live_state.iteration % spec.checkpoint_every == 0
+            and live_state.iteration < spec.config.iterations
+        ):
+            save_checkpoint(
+                shard_dir,
+                live_state,
+                extra={"run_id": spec.run_id, "shard": index, "target": spec.target},
+            )
+            store.write_shard_status(
+                spec.run_id,
+                index,
+                state="running",
+                pid=os.getpid(),
+                iteration=live_state.iteration,
+                iterations=spec.config.iterations,
+                backend=shard.backend,
+                seed=shard.seed,
+                resumed_from=resumed_from,
+                checkpoint_iteration=live_state.iteration,
+            )
+
+    result = sampler.run(seed=shard.seed, state=state, on_iteration=_on_iteration)
+    decoys = result.distinct_non_dominated(trajectory=index)
+
+    summary = {
+        "run_id": spec.run_id,
+        "shard": index,
+        "backend": result.backend_name,
+        "seed": shard.seed,
+        "iterations": spec.config.iterations,
+        "resumed_from": resumed_from,
+        # For resumed shards this covers only the final segment (the time
+        # before the interruption died with the interrupted process).
+        "wall_seconds": result.wall_seconds,
+        "best_rmsd": result.best_rmsd,
+        "best_front_rmsd": result.best_non_dominated_rmsd,
+        "n_non_dominated": result.n_non_dominated(),
+        "final_acceptance": (
+            result.acceptance_history[-1] if result.acceptance_history else None
+        ),
+    }
+    store.save_shard_result(
+        spec.run_id,
+        index,
+        decoys,
+        summary,
+        host_ledger=result.host_ledger,
+        kernel_ledger=result.kernel_ledger,
+    )
+    store.write_shard_status(
+        spec.run_id,
+        index,
+        state="done",
+        pid=os.getpid(),
+        iteration=spec.config.iterations,
+        iterations=spec.config.iterations,
+        backend=shard.backend,
+        seed=shard.seed,
+        resumed_from=resumed_from,
+        n_decoys=len(decoys),
+    )
+    summary["n_decoys"] = len(decoys)
+    return summary
+
+
+def _shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable worker entry point: run one shard, never raise.
+
+    Exceptions are folded into an ``{"error": ...}`` summary (and the
+    shard's status document) so one bad shard cannot poison the pool.
+    """
+    store = RunStore(payload["store_root"])
+    spec = RunSpec.from_dict(payload["spec"])
+    index = int(payload["index"])
+    try:
+        return run_shard(store, spec, index)
+    except Exception as exc:  # noqa: BLE001 - reported via the summary
+        detail = traceback.format_exc(limit=20)
+        try:
+            store.write_shard_status(
+                spec.run_id, index, state="failed", error=str(exc), detail=detail
+            )
+        except OSError:
+            pass
+        return {
+            "run_id": spec.run_id,
+            "shard": index,
+            "error": f"{type(exc).__name__}: {exc}",
+            "detail": detail,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The executor (runs in the submitting process)
+# ---------------------------------------------------------------------------
+
+
+class ShardExecutor:
+    """Fans the shards of a run out across worker processes."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.store = store
+        self.workers = workers
+        self.progress = progress
+        self._logger = get_logger("runtime.executor")
+
+    def _emit(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+        else:
+            self._logger.info("%s", line)
+
+    def execute(self, spec: RunSpec, indices: Optional[Sequence[int]] = None) -> List[Dict[str, Any]]:
+        """Run the (remaining) shards of ``spec``; returns shard summaries.
+
+        Shards with results on disk are skipped (their stored summaries are
+        returned), which is what makes ``execute`` double as *resume*: a
+        killed run re-executes only its unfinished shards, each continuing
+        from its latest checkpoint.  Raises :class:`ShardFailure` if any
+        shard errors.
+        """
+        if indices is None:
+            indices = range(spec.n_trajectories)
+        workers = self.workers if self.workers is not None else spec.workers
+        spec_dict = spec.to_dict()
+        pending = []
+        done = []
+        for index in indices:
+            if self.store.has_shard_result(spec.run_id, index):
+                done.append(int(index))
+                self._emit(f"{spec.run_id}/{shard_name(index)}: already complete")
+            else:
+                pending.append(
+                    {
+                        "store_root": str(self.store.root),
+                        "spec": spec_dict,
+                        "index": int(index),
+                    }
+                )
+        self._emit(
+            f"{spec.run_id}: {len(pending)} shard(s) to run on "
+            f"{min(workers, max(len(pending), 1))} worker(s)"
+        )
+
+        def _report(_pos: int, summary: Dict[str, Any]) -> None:
+            shard = shard_name(summary.get("shard", -1))
+            if "error" in summary:
+                self._emit(f"{spec.run_id}/{shard}: FAILED {summary['error']}")
+            else:
+                resumed = summary.get("resumed_from")
+                suffix = f" (resumed from iter {resumed})" if resumed else ""
+                self._emit(
+                    f"{spec.run_id}/{shard}: done in "
+                    f"{summary.get('wall_seconds', 0.0):.2f}s, "
+                    f"{summary.get('n_decoys', 0)} decoys{suffix}"
+                )
+
+        fresh = parallel_map(_shard_task, pending, workers, on_result=_report)
+        failures = [s for s in fresh if "error" in s]
+        if failures:
+            raise ShardFailure(
+                f"{len(failures)} shard(s) of run {spec.run_id!r} failed: "
+                + "; ".join(
+                    f"shard {s['shard']}: {s['error']}" for s in failures
+                )
+            )
+        summaries = {s["shard"]: s for s in fresh}
+        for index in done:
+            summaries[index] = self.store.load_shard_summary(spec.run_id, index)
+        return [summaries[i] for i in sorted(summaries)]
+
+    def merge(self, run_id: str, distinct_only: bool = False) -> DecoySet:
+        """Merge every completed shard's decoys; persists and returns the set.
+
+        The default is the plain union of the per-shard sets (shard order);
+        ``distinct_only`` re-applies the cross-shard distinctness rule.
+        """
+        manifest = self.store.load_manifest(run_id)
+        spec = manifest.spec
+        shard_sets = []
+        shard_ledgers = []
+        for index in range(spec.n_trajectories):
+            if not self.store.has_shard_result(run_id, index):
+                raise ShardFailure(
+                    f"cannot merge run {run_id!r}: shard {index} has no result "
+                    "(resume the run first)"
+                )
+            _summary, decoys, ledgers = self.store.load_shard_result(run_id, index)
+            shard_sets.append(decoys)
+            shard_ledgers.append(ledgers)
+        merged = merge_decoy_sets(shard_sets, distinct_only=distinct_only)
+        kernel = merge_timing_ledgers(l["kernel"] for l in shard_ledgers)
+        host = merge_timing_ledgers(l["host"] for l in shard_ledgers)
+        self.store.save_merged(
+            run_id,
+            merged,
+            {
+                "run_id": run_id,
+                "distinct_only": distinct_only,
+                "n_shards": spec.n_trajectories,
+                "per_shard_decoys": [len(s) for s in shard_sets],
+                "best_rmsd": merged.best_rmsd(),
+                "kernel_ledger_seconds": kernel.total(),
+                "host_ledger_seconds": host.total(),
+            },
+        )
+        self._emit(
+            f"{run_id}: merged {sum(len(s) for s in shard_sets)} shard decoys "
+            f"into {len(merged)} ({'distinct' if distinct_only else 'union'})"
+        )
+        return merged

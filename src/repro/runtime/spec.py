@@ -1,0 +1,227 @@
+"""Run specifications and manifests of the sharded runtime.
+
+A *run* is a batch of independent MOSCEM trajectories (shards) over one
+benchmark target: ``target x config x seed x backend``.  :class:`RunSpec`
+describes the batch declaratively; :class:`ShardSpec` is the materialised
+description of one shard; :class:`RunManifest` is the JSON document the run
+store persists so a run can be inspected, resumed and merged by later
+processes that share none of the submitting process's memory.
+
+Per-shard seeds are derived deterministically from the base seed through
+:meth:`repro.utils.rng.RandomStreams.child`, the same derivation the
+sampler uses for its own named streams — shards are therefore
+statistically independent, reproducible from the manifest alone, and
+independent of which worker process executes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.config import RuntimeConfig, SamplingConfig
+from repro.utils.rng import RandomStreams
+
+__all__ = [
+    "RunSpec",
+    "ShardSpec",
+    "RunManifest",
+    "MANIFEST_FORMAT_VERSION",
+    "shard_name",
+]
+
+#: Version stamp of the manifest JSON layout.
+MANIFEST_FORMAT_VERSION: int = 1
+
+_RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Single source of the runtime defaults shared with the CLI.
+_RUNTIME_DEFAULTS = RuntimeConfig()
+
+
+def shard_name(index: int) -> str:
+    """Canonical shard name — the single source for directories and logs."""
+    return f"shard-{int(index):04d}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One schedulable trajectory of a run."""
+
+    run_id: str
+    index: int
+    seed: int
+    backend: str
+
+    @property
+    def name(self) -> str:
+        """Stable shard name used for directories and log lines."""
+        return shard_name(self.index)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            index=int(payload["index"]),
+            seed=int(payload["seed"]),
+            backend=str(payload["backend"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of a batch of trajectories.
+
+    Attributes
+    ----------
+    run_id:
+        Store-unique identifier (letters, digits, ``._-``).
+    target:
+        Benchmark target name resolvable by
+        :func:`repro.loops.targets.get_target`.
+    config:
+        Sampling configuration shared by every shard (each shard overrides
+        only the seed).
+    n_trajectories:
+        Number of shards.
+    base_seed:
+        Master seed the per-shard seeds are derived from.
+    backends:
+        Backend kinds assigned to shards round-robin.
+    checkpoint_every:
+        Iterations between shard checkpoints (0 disables).
+    workers:
+        Worker processes the executor should use.
+    """
+
+    run_id: str
+    target: str
+    config: SamplingConfig = dataclasses.field(default_factory=SamplingConfig)
+    n_trajectories: int = 4
+    base_seed: int = 0
+    backends: Tuple[str, ...] = _RUNTIME_DEFAULTS.backends
+    checkpoint_every: int = _RUNTIME_DEFAULTS.checkpoint_every
+    workers: int = _RUNTIME_DEFAULTS.workers
+
+    def __post_init__(self) -> None:
+        if not _RUN_ID_PATTERN.match(self.run_id):
+            raise ValueError(
+                "run_id must be non-empty and contain only letters, digits, "
+                f"'.', '_' or '-': {self.run_id!r}"
+            )
+        if self.n_trajectories <= 0:
+            raise ValueError("n_trajectories must be positive")
+        # The runtime fields share RuntimeConfig's validation rules.
+        RuntimeConfig(
+            workers=self.workers,
+            checkpoint_every=self.checkpoint_every,
+            backends=self.backends,
+        )
+        object.__setattr__(self, "backends", tuple(self.backends))
+
+    # ------------------------------------------------------------------
+    # Shard derivation
+    # ------------------------------------------------------------------
+
+    def shard_seed(self, index: int) -> int:
+        """Deterministic seed of shard ``index``.
+
+        Mixed through ``RandomStreams.child`` so shards draw statistically
+        independent streams no matter how close the base seeds of two runs
+        are.
+        """
+        if not (0 <= index < self.n_trajectories):
+            raise IndexError(f"shard index {index} out of range")
+        seed = RandomStreams(self.base_seed).child(index).seed
+        assert seed is not None
+        return seed
+
+    def shard(self, index: int) -> ShardSpec:
+        """Materialise the spec of shard ``index``."""
+        return ShardSpec(
+            run_id=self.run_id,
+            index=index,
+            seed=self.shard_seed(index),
+            backend=self.backends[index % len(self.backends)],
+        )
+
+    def shards(self) -> List[ShardSpec]:
+        """All shard specs, in index order."""
+        return [self.shard(i) for i in range(self.n_trajectories)]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        payload = dataclasses.asdict(self)
+        payload["backends"] = list(self.backends)
+        payload["config"] = dataclasses.asdict(self.config)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            target=str(payload["target"]),
+            config=SamplingConfig(**payload["config"]),
+            n_trajectories=int(payload["n_trajectories"]),
+            base_seed=int(payload["base_seed"]),
+            backends=tuple(payload["backends"]),
+            checkpoint_every=int(payload["checkpoint_every"]),
+            workers=int(payload["workers"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunManifest:
+    """The persisted description of a run: spec plus its shard table."""
+
+    spec: RunSpec
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    @property
+    def run_id(self) -> str:
+        """Identifier of the described run."""
+        return self.spec.run_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON document body of ``manifest.json``."""
+        return {
+            "format_version": self.format_version,
+            "spec": self.spec.to_dict(),
+            "shards": [shard.to_dict() for shard in self.spec.shards()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        """Rebuild from :meth:`to_dict` output, validating the shard table.
+
+        The shard entries are re-derived from the spec; a manifest whose
+        stored shard table disagrees (hand-edited seeds, truncated list)
+        is rejected rather than silently re-derived.
+        """
+        version = int(payload.get("format_version", -1))
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported manifest format_version {version}; "
+                f"expected {MANIFEST_FORMAT_VERSION}"
+            )
+        manifest = cls(spec=RunSpec.from_dict(payload["spec"]), format_version=version)
+        stored = payload.get("shards")
+        if stored is not None:
+            derived = [shard.to_dict() for shard in manifest.spec.shards()]
+            if list(stored) != derived:
+                raise ValueError(
+                    "manifest shard table does not match its spec; the "
+                    "manifest file appears edited or truncated"
+                )
+        return manifest

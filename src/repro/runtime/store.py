@@ -1,0 +1,301 @@
+"""Persistent on-disk run store.
+
+Directory layout (everything under one *store root*)::
+
+    <root>/
+      <run_id>/
+        manifest.json                  # RunManifest (spec + shard table)
+        merged/
+          decoys.npz                   # union of the per-shard decoy sets
+          summary.json
+        shards/
+          shard-0000/
+            status.json                # {"state", "iteration", ...}
+            checkpoint.npz / .json     # latest sampler checkpoint
+            decoys.npz                 # harvested decoy set (on completion)
+            result.json                # shard summary + timing ledgers
+          shard-0001/ ...
+
+Shard files are only ever written by the worker that owns the shard and
+every JSON write is temp-file + atomic rename, so concurrent workers never
+interleave partial writes.  The store is intentionally dumb — all policy
+(scheduling, resuming, merging) lives in the executor and the CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.moscem.decoys import Decoy, DecoySet
+from repro.runtime.spec import RunManifest, RunSpec, shard_name
+from repro.utils.fileio import write_bytes_atomic, write_json_atomic
+from repro.utils.timing import TimingLedger
+
+__all__ = ["RunStore", "RunStoreError"]
+
+
+class RunStoreError(RuntimeError):
+    """A run store operation failed (missing run, clashing run id, ...)."""
+
+
+def _read_json(path: Path) -> Dict[str, Any]:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError) as exc:
+        raise RunStoreError(f"unreadable store file {path}: {exc}") from exc
+
+
+def _ledger_to_dict(ledger: TimingLedger) -> Dict[str, Dict[str, float]]:
+    return {
+        name: {"calls": rec.calls, "total_seconds": rec.total_seconds}
+        for name, rec in ledger.records.items()
+    }
+
+
+def _ledger_from_dict(payload: Dict[str, Dict[str, float]]) -> TimingLedger:
+    ledger = TimingLedger()
+    for name, rec in payload.items():
+        ledger.add(name, float(rec["total_seconds"]), calls=int(rec["calls"]))
+    return ledger
+
+
+class RunStore:
+    """File-system backed store of runs, shards, checkpoints and results."""
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def run_dir(self, run_id: str) -> Path:
+        """Directory of one run."""
+        return self.root / run_id
+
+    def shard_dir(self, run_id: str, index: int) -> Path:
+        """Directory of one shard of a run."""
+        return self.run_dir(run_id) / "shards" / shard_name(index)
+
+    def merged_dir(self, run_id: str) -> Path:
+        """Directory holding the merged artefacts of a run."""
+        return self.run_dir(run_id) / "merged"
+
+    # ------------------------------------------------------------------
+    # Runs and manifests
+    # ------------------------------------------------------------------
+
+    def list_runs(self) -> List[str]:
+        """Identifiers of every run in the store, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / self.MANIFEST_NAME).is_file()
+        )
+
+    def create_run(self, spec: RunSpec, exist_ok: bool = False) -> RunManifest:
+        """Register a run: write its manifest and shard directories."""
+        manifest = RunManifest(spec=spec)
+        manifest_path = self.run_dir(spec.run_id) / self.MANIFEST_NAME
+        if manifest_path.exists():
+            if not exist_ok:
+                raise RunStoreError(
+                    f"run {spec.run_id!r} already exists in {self.root}"
+                )
+            existing = self.load_manifest(spec.run_id)
+            if existing.spec != spec:
+                raise RunStoreError(
+                    f"run {spec.run_id!r} exists with a different spec; "
+                    "choose a new run id"
+                )
+            return existing
+        for shard in spec.shards():
+            self.shard_dir(spec.run_id, shard.index).mkdir(
+                parents=True, exist_ok=True
+            )
+        write_json_atomic(manifest_path, manifest.to_dict())
+        return manifest
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        """Load the manifest of ``run_id`` (raises if absent or invalid)."""
+        path = self.run_dir(run_id) / self.MANIFEST_NAME
+        try:
+            payload = _read_json(path)
+        except FileNotFoundError:
+            raise RunStoreError(
+                f"unknown run {run_id!r} in store {self.root} "
+                f"(available: {self.list_runs()})"
+            ) from None
+        try:
+            return RunManifest.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunStoreError(f"invalid manifest for run {run_id!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Shard status
+    # ------------------------------------------------------------------
+
+    def write_shard_status(self, run_id: str, index: int, **fields: Any) -> None:
+        """Atomically replace the status document of a shard."""
+        write_json_atomic(
+            self.shard_dir(run_id, index) / "status.json", dict(fields)
+        )
+
+    def read_shard_status(self, run_id: str, index: int) -> Dict[str, Any]:
+        """Status document of a shard (``{"state": "pending"}`` if unwritten)."""
+        try:
+            return _read_json(self.shard_dir(run_id, index) / "status.json")
+        except FileNotFoundError:
+            return {"state": "pending"}
+
+    # ------------------------------------------------------------------
+    # Shard results
+    # ------------------------------------------------------------------
+
+    def save_shard_result(
+        self,
+        run_id: str,
+        index: int,
+        decoys: DecoySet,
+        summary: Dict[str, Any],
+        host_ledger: Optional[TimingLedger] = None,
+        kernel_ledger: Optional[TimingLedger] = None,
+    ) -> None:
+        """Persist a completed shard: decoy arrays, summary and ledgers."""
+        shard_dir = self.shard_dir(run_id, index)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        self._save_decoys(shard_dir / "decoys.npz", decoys)
+        payload = dict(summary)
+        payload["n_decoys"] = len(decoys)
+        payload["distinctness_threshold"] = float(decoys.distinctness_threshold)
+        payload["host_ledger"] = _ledger_to_dict(host_ledger or TimingLedger())
+        payload["kernel_ledger"] = _ledger_to_dict(kernel_ledger or TimingLedger())
+        write_json_atomic(shard_dir / "result.json", payload)
+
+    def has_shard_result(self, run_id: str, index: int) -> bool:
+        """Whether a shard has written its result files."""
+        shard_dir = self.shard_dir(run_id, index)
+        return (shard_dir / "result.json").is_file() and (
+            shard_dir / "decoys.npz"
+        ).is_file()
+
+    def load_shard_summary(self, run_id: str, index: int) -> Dict[str, Any]:
+        """The ``result.json`` document of a completed shard."""
+        try:
+            return _read_json(self.shard_dir(run_id, index) / "result.json")
+        except FileNotFoundError:
+            raise RunStoreError(
+                f"shard {index} of run {run_id!r} has no result yet"
+            ) from None
+
+    def load_shard_result(
+        self, run_id: str, index: int
+    ) -> Tuple[Dict[str, Any], DecoySet, Dict[str, TimingLedger]]:
+        """Summary, decoy set and timing ledgers of a completed shard.
+
+        One ``result.json`` read serves all three views — bulk consumers
+        (the merge) should prefer this over the individual accessors.
+        """
+        summary = self.load_shard_summary(run_id, index)
+        decoys = self._load_decoys(
+            self.shard_dir(run_id, index) / "decoys.npz",
+            float(summary["distinctness_threshold"]),
+        )
+        ledgers = {
+            "host": _ledger_from_dict(summary.get("host_ledger", {})),
+            "kernel": _ledger_from_dict(summary.get("kernel_ledger", {})),
+        }
+        return summary, decoys, ledgers
+
+    def load_shard_decoys(self, run_id: str, index: int) -> DecoySet:
+        """The decoy set a completed shard harvested."""
+        return self.load_shard_result(run_id, index)[1]
+
+    def load_shard_ledgers(
+        self, run_id: str, index: int
+    ) -> Dict[str, TimingLedger]:
+        """Host and kernel timing ledgers of a completed shard."""
+        return self.load_shard_result(run_id, index)[2]
+
+    # ------------------------------------------------------------------
+    # Merged artefacts
+    # ------------------------------------------------------------------
+
+    def save_merged(
+        self, run_id: str, decoys: DecoySet, summary: Dict[str, Any]
+    ) -> None:
+        """Persist the cross-shard merged decoy set and its summary."""
+        merged = self.merged_dir(run_id)
+        merged.mkdir(parents=True, exist_ok=True)
+        self._save_decoys(merged / "decoys.npz", decoys)
+        payload = dict(summary)
+        payload["n_decoys"] = len(decoys)
+        payload["distinctness_threshold"] = float(decoys.distinctness_threshold)
+        write_json_atomic(merged / "summary.json", payload)
+
+    def load_merged(self, run_id: str) -> DecoySet:
+        """The merged decoy set of a run (raises if never merged)."""
+        merged = self.merged_dir(run_id)
+        try:
+            summary = _read_json(merged / "summary.json")
+        except FileNotFoundError:
+            raise RunStoreError(f"run {run_id!r} has not been merged yet") from None
+        return self._load_decoys(
+            merged / "decoys.npz", float(summary["distinctness_threshold"])
+        )
+
+    # ------------------------------------------------------------------
+    # Decoy array round trip
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _save_decoys(path: Path, decoys: DecoySet) -> None:
+        if len(decoys):
+            arrays = {
+                "torsions": np.stack([d.torsions for d in decoys]),
+                "coords": np.stack([d.coords for d in decoys]),
+                "scores": np.stack([d.scores for d in decoys]),
+                "rmsd": np.array([d.rmsd for d in decoys], dtype=np.float64),
+                "trajectory": np.array(
+                    [d.trajectory for d in decoys], dtype=np.int64
+                ),
+            }
+        else:
+            arrays = {
+                "torsions": np.zeros((0, 0)),
+                "coords": np.zeros((0, 0, 4, 3)),
+                "scores": np.zeros((0, 0)),
+                "rmsd": np.zeros(0),
+                "trajectory": np.zeros(0, dtype=np.int64),
+            }
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        write_bytes_atomic(path, buffer.getvalue())
+
+    @staticmethod
+    def _load_decoys(path: Path, distinctness_threshold: float) -> DecoySet:
+        decoys = DecoySet(distinctness_threshold=distinctness_threshold)
+        with np.load(path) as data:
+            n = data["rmsd"].shape[0]
+            for i in range(n):
+                decoys.absorb(
+                    Decoy(
+                        torsions=np.array(data["torsions"][i], dtype=np.float64),
+                        coords=np.array(data["coords"][i], dtype=np.float64),
+                        scores=np.array(data["scores"][i], dtype=np.float64),
+                        rmsd=float(data["rmsd"][i]),
+                        trajectory=int(data["trajectory"][i]),
+                    )
+                )
+        return decoys

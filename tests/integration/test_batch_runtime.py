@@ -1,0 +1,239 @@
+"""End-to-end tests of the sharded runtime and the ``repro-batch`` CLI.
+
+Covers the acceptance criteria of the runtime subsystem:
+
+* a batch of >= 4 trajectories executes across >= 2 worker processes;
+* a killed run resumes from its last checkpoint to a bit-identical final
+  population;
+* the merged decoy set equals the union of the per-shard decoy sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.runtime.executor as executor_module
+from repro.cli import batch_main
+from repro.config import SamplingConfig
+from repro.runtime import RunSpec, RunStore, ShardExecutor, ShardFailure, run_shard
+
+SMOKE_CONFIG = SamplingConfig(
+    population_size=16, n_complexes=4, iterations=4, seed=0
+)
+
+
+def _smoke_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        run_id="smoke",
+        target="1cex(40:51)",
+        config=SMOKE_CONFIG,
+        n_trajectories=4,
+        base_seed=21,
+        backends=("gpu", "cpu-batched"),
+        checkpoint_every=2,
+        workers=2,
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestShardedExecution:
+    def test_four_trajectories_across_two_workers(self, tmp_path):
+        """The headline smoke case: 4 shards fanned out over 2 processes."""
+        store = RunStore(tmp_path)
+        spec = _smoke_spec()
+        store.create_run(spec)
+        lines = []
+        executor = ShardExecutor(store, progress=lines.append)
+        summaries = executor.execute(spec)
+
+        assert len(summaries) == 4
+        assert [s["shard"] for s in summaries] == [0, 1, 2, 3]
+        assert {s["backend"] for s in summaries} == {"gpu", "cpu-batched"}
+        worker_pids = {
+            store.read_shard_status(spec.run_id, i).get("pid") for i in range(4)
+        }
+        assert len(worker_pids) >= 2, "shards should spread over >= 2 processes"
+        for index in range(4):
+            assert store.has_shard_result(spec.run_id, index)
+            assert store.read_shard_status(spec.run_id, index)["state"] == "done"
+        # Progress streamed one completion line per shard.
+        assert sum("done in" in line for line in lines) == 4
+
+    def test_merged_equals_union_of_shards(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _smoke_spec()
+        store.create_run(spec)
+        executor = ShardExecutor(store, progress=lambda _line: None)
+        executor.execute(spec)
+        merged = executor.merge(spec.run_id)
+
+        shard_sets = [
+            store.load_shard_decoys(spec.run_id, i)
+            for i in range(spec.n_trajectories)
+        ]
+        assert len(merged) == sum(len(s) for s in shard_sets)
+        position = 0
+        for index, shard_set in enumerate(shard_sets):
+            for decoy in shard_set:
+                kept = merged[position]
+                position += 1
+                assert np.array_equal(decoy.torsions, kept.torsions)
+                assert np.array_equal(decoy.scores, kept.scores)
+                assert kept.trajectory == index
+        # The merge is persisted and reloadable.
+        reloaded = store.load_merged(spec.run_id)
+        assert len(reloaded) == len(merged)
+
+    def test_shard_results_independent_of_worker_count(self, tmp_path):
+        """Fan-out is a scheduling choice: shard outputs don't depend on it."""
+        serial_store = RunStore(tmp_path / "serial")
+        pooled_store = RunStore(tmp_path / "pooled")
+        spec = _smoke_spec(n_trajectories=2, backends=("gpu",))
+        serial_store.create_run(spec)
+        pooled_store.create_run(spec)
+        ShardExecutor(serial_store, workers=1, progress=lambda _l: None).execute(spec)
+        ShardExecutor(pooled_store, workers=2, progress=lambda _l: None).execute(spec)
+        for index in range(2):
+            a = serial_store.load_shard_decoys(spec.run_id, index)
+            b = pooled_store.load_shard_decoys(spec.run_id, index)
+            assert len(a) == len(b)
+            for da, db in zip(a, b):
+                assert np.array_equal(da.torsions, db.torsions)
+                assert da.rmsd == db.rmsd
+
+    def test_failed_shard_reports_and_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _smoke_spec(target="1cex(40:51)", n_trajectories=1, workers=1)
+        store.create_run(spec)
+        executor = ShardExecutor(store, workers=1, progress=lambda _l: None)
+
+        original = executor_module._build_sampler
+
+        def broken(spec_, shard_):
+            raise RuntimeError("backend exploded")
+
+        executor_module._build_sampler = broken
+        try:
+            with pytest.raises(ShardFailure, match="backend exploded"):
+                executor.execute(spec)
+        finally:
+            executor_module._build_sampler = original
+        assert store.read_shard_status(spec.run_id, 0)["state"] == "failed"
+
+
+class TestKillAndResume:
+    def test_killed_shard_resumes_bit_identically(self, tmp_path):
+        """Kill a shard mid-run; the resumed run must match an untouched one."""
+        spec = _smoke_spec(n_trajectories=1, backends=("gpu",), checkpoint_every=2)
+
+        clean_store = RunStore(tmp_path / "clean")
+        clean_store.create_run(spec)
+        run_shard(clean_store, spec, 0)
+
+        killed_store = RunStore(tmp_path / "killed")
+        killed_store.create_run(spec)
+
+        class Killed(Exception):
+            pass
+
+        original = executor_module._build_sampler
+
+        def killing(spec_, shard_):
+            sampler = original(spec_, shard_)
+            inner_step = sampler.step
+
+            def step(state, host_ledger=None):
+                if state.iteration == 3:  # past the iteration-2 checkpoint
+                    raise Killed("simulated crash")
+                return inner_step(state, host_ledger=host_ledger)
+
+            sampler.step = step
+            return sampler
+
+        executor_module._build_sampler = killing
+        try:
+            with pytest.raises(Killed):
+                run_shard(killed_store, spec, 0)
+        finally:
+            executor_module._build_sampler = original
+
+        status = killed_store.read_shard_status(spec.run_id, 0)
+        assert status.get("checkpoint_iteration") == 2
+        assert not killed_store.has_shard_result(spec.run_id, 0)
+
+        summary = run_shard(killed_store, spec, 0)
+        assert summary["resumed_from"] == 2
+
+        resumed = killed_store.load_shard_decoys(spec.run_id, 0)
+        clean = clean_store.load_shard_decoys(spec.run_id, 0)
+        assert len(resumed) == len(clean)
+        for a, b in zip(resumed, clean):
+            assert np.array_equal(a.torsions, b.torsions)
+            assert np.array_equal(a.coords, b.coords)
+            assert np.array_equal(a.scores, b.scores)
+            assert a.rmsd == b.rmsd
+
+    def test_executor_resume_skips_completed_shards(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _smoke_spec(n_trajectories=2, workers=1, backends=("gpu",))
+        store.create_run(spec)
+        run_shard(store, spec, 0)  # shard 0 done, shard 1 untouched
+
+        ran = []
+        executor = ShardExecutor(store, workers=1, progress=ran.append)
+        summaries = executor.execute(spec)
+        assert len(summaries) == 2
+        assert any("already complete" in line for line in ran)
+        assert store.has_shard_result(spec.run_id, 1)
+
+
+class TestBatchCLI:
+    def test_submit_status_merge(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        rc = batch_main(
+            [
+                "--store", store_dir,
+                "submit", "1cex(40:51)",
+                "--trajectories", "4",
+                "--workers", "2",
+                "--population", "16",
+                "--complexes", "4",
+                "--iterations", "4",
+                "--checkpoint-every", "2",
+                "--backends", "gpu,cpu-batched",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merged decoys" in out
+
+        assert batch_main(["--store", store_dir, "status", "1cex-40-51-s3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("done") == 4
+
+        assert batch_main(["--store", store_dir, "status"]) == 0
+        assert "1cex-40-51-s3" in capsys.readouterr().out
+
+        assert batch_main(["--store", store_dir, "merge", "1cex-40-51-s3"]) == 0
+        assert "merged decoys" in capsys.readouterr().out
+
+    def test_resume_is_idempotent(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        args = [
+            "--store", store_dir,
+            "submit", "1cex(40:51)",
+            "--trajectories", "2",
+            "--workers", "1",
+            "--population", "16",
+            "--complexes", "4",
+            "--iterations", "3",
+            "--no-merge",
+        ]
+        assert batch_main(args) == 0
+        capsys.readouterr()
+        assert batch_main(["--store", store_dir, "resume", "1cex-40-51-s0"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("already complete") == 2

@@ -145,3 +145,58 @@ class TestFitnessAgainst:
             [fitness_against(reference, queries[i : i + 1])[0] for i in range(5)]
         )
         np.testing.assert_allclose(together, separate, atol=1e-12)
+
+
+class TestChunkedFitnessKernels:
+    """The chunked kernels are bit-identical to the dense (one-block) path."""
+
+    def _scores(self, n, k=3, seed=0):
+        rng = np.random.default_rng(seed)
+        # Rounding forces ties, exercising the <=-but-not-< branches.
+        return np.round(rng.normal(size=(n, k)), 1)
+
+    @pytest.mark.parametrize("block_size", [1, 2, 7, 64, 128, 0, None])
+    def test_strength_fitness_block_invariant(self, block_size):
+        scores = self._scores(150)
+        dense = strength_fitness(scores, block_size=10_000)
+        assert np.array_equal(strength_fitness(scores, block_size=block_size), dense)
+
+    @pytest.mark.parametrize("block_size", [1, 3, 8, 0, None])
+    def test_fitness_against_block_invariant(self, block_size):
+        reference = self._scores(90, seed=1)
+        queries = self._scores(37, seed=2)
+        dense = fitness_against(reference, queries, block_size=10_000)
+        assert np.array_equal(
+            fitness_against(reference, queries, block_size=block_size), dense
+        )
+
+    @pytest.mark.parametrize("block_size", [1, 5, 0])
+    def test_non_dominated_mask_block_invariant(self, block_size):
+        scores = self._scores(120, seed=3)
+        assert np.array_equal(
+            non_dominated_mask(scores, block_size=block_size),
+            non_dominated_mask(scores),
+        )
+
+    def test_chunked_matches_dominance_matrix_definition(self):
+        scores = self._scores(60, seed=4)
+        dom = dominance_matrix(scores)
+        nd = ~np.any(dom, axis=0)
+        counts = np.where(nd, dom.sum(axis=1), 0)
+        expected = np.where(
+            nd,
+            counts / 60.0,
+            1.0 + (counts[:, None] * (dom & nd[:, None])).sum(axis=0) / 60.0,
+        )
+        np.testing.assert_allclose(
+            strength_fitness(scores, block_size=9), expected, atol=1e-12
+        )
+
+    def test_front_identification_preserved(self):
+        scores = self._scores(200, seed=5)
+        fitness = strength_fitness(scores, block_size=16)
+        assert np.array_equal(fitness < 1.0, non_dominated_mask(scores))
+
+    def test_empty_and_single(self):
+        assert strength_fitness(np.zeros((0, 3)), block_size=4).shape == (0,)
+        assert strength_fitness(np.zeros((1, 3)), block_size=4)[0] == 0.0

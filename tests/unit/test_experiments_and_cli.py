@@ -191,3 +191,19 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "best RMSD" in out
         assert pdb_path.exists()
+
+
+class TestParallelRunner:
+    def test_workers_do_not_change_the_report(self):
+        # table3 is static and cheap; the parallel path must return the
+        # same rendered report as the sequential one, in request order.
+        serial = run_experiments(["table3"], scale="smoke", workers=1)
+        pooled = run_experiments(["table3"], scale="smoke", workers=2)
+        assert [r.experiment_id for r in pooled.results] == ["table3"]
+        serial_tables = [t.render() for r in serial.results for t in r.tables]
+        pooled_tables = [t.render() for r in pooled.results for t in r.tables]
+        assert serial_tables == pooled_tables
+
+    def test_cli_accepts_workers_flag(self, capsys):
+        assert experiments_main(["table3", "--workers", "2"]) == 0
+        assert "Occupancy" in capsys.readouterr().out

@@ -361,3 +361,90 @@ class TestTrajectoryRecorder:
         recorder = TrajectoryRecorder()
         assert not recorder.wants(0)
         assert recorder.record(0, rng.normal(size=(4, 3)), np.ones(4)) is None
+
+
+class TestTorsionGridDistinctness:
+    """The torsion cell list prunes without changing accept/reject outcomes."""
+
+    def _brute_force_distinct(self, decoy_set, torsions):
+        from repro.geometry.vectors import angle_difference
+
+        torsions = np.asarray(torsions, dtype=np.float64)
+        for decoy in decoy_set.decoys:
+            deviation = np.abs(angle_difference(torsions, decoy.torsions))
+            if float(np.max(deviation)) < decoy_set.distinctness_threshold:
+                return False
+        return True
+
+    def _args(self, torsions):
+        n = torsions.shape[0] // 2
+        return dict(
+            torsions=torsions,
+            coords=np.zeros((n, 4, 3)),
+            scores=np.zeros(3),
+            rmsd=1.0,
+        )
+
+    @pytest.mark.parametrize(
+        "threshold",
+        [np.radians(30.0), np.radians(5.0), np.radians(170.0)],
+    )
+    @pytest.mark.parametrize("n_torsions", [2, 4, 24])
+    def test_matches_brute_force_scan(self, threshold, n_torsions):
+        rng = np.random.default_rng(7)
+        pruned = DecoySet(distinctness_threshold=threshold)
+        for i in range(300):
+            torsions = rng.uniform(-np.pi, np.pi, size=n_torsions)
+            expected = self._brute_force_distinct(pruned, torsions)
+            assert pruned.is_distinct(torsions) == expected
+            pruned.add(**self._args(torsions))
+
+    def test_wraparound_neighbours_detected(self):
+        threshold = np.radians(30.0)
+        decoys = DecoySet(distinctness_threshold=threshold)
+        near_pi = np.full(4, np.pi - 1e-3)
+        decoys.add(**self._args(near_pi))
+        # Just across the -pi/+pi seam: tiny circular deviation everywhere.
+        assert not decoys.is_distinct(np.full(4, -np.pi + 1e-3))
+        # Far along every coordinate: distinct.
+        assert decoys.is_distinct(np.zeros(4))
+
+    def test_grid_survives_direct_list_mutation(self):
+        threshold = np.radians(30.0)
+        decoys = DecoySet(distinctness_threshold=threshold)
+        decoys.add(**self._args(np.zeros(4)))
+        decoys.add(**self._args(np.full(4, 2.0)))
+        # External code may mutate the public list; the check must heal.
+        removed = decoys.decoys.pop()
+        assert decoys.is_distinct(removed.torsions)
+        decoys.decoys.append(removed)
+        assert not decoys.is_distinct(removed.torsions)
+
+    def test_absorb_union_bypasses_distinctness(self):
+        decoys = DecoySet(distinctness_threshold=np.radians(30.0))
+        decoys.add(**self._args(np.zeros(4)))
+        duplicate = decoys[0]
+        assert decoys.absorb(duplicate)  # plain union keeps duplicates
+        assert len(decoys) == 2
+        assert not decoys.absorb(duplicate, distinct_only=True)
+        assert len(decoys) == 2
+
+    def test_grid_survives_same_length_mutation(self):
+        # Reordering or replacing elements keeps the list length unchanged;
+        # the identity fingerprint must still trigger a rebuild.
+        threshold = np.radians(30.0)
+        decoys = DecoySet(distinctness_threshold=threshold)
+        decoys.add(**self._args(np.zeros(4)))
+        decoys.add(**self._args(np.full(4, 2.0)))
+        decoys.decoys.reverse()
+        assert not decoys.is_distinct(np.zeros(4))
+        assert not decoys.is_distinct(np.full(4, 2.0))
+        replacement = decoys.decoys[0].__class__(
+            torsions=np.full(4, -2.0),
+            coords=np.zeros((2, 4, 3)),
+            scores=np.zeros(3),
+            rmsd=1.0,
+        )
+        decoys.decoys[0] = replacement
+        assert not decoys.is_distinct(np.full(4, -2.0))
+        assert decoys.is_distinct(np.full(4, 2.9))

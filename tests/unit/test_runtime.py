@@ -1,0 +1,302 @@
+"""Unit tests of the sharded runtime: specs, store, checkpoints, fan-out."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig, SamplingConfig
+from repro.moscem.decoys import Decoy, DecoySet
+from repro.moscem.sampler import MOSCEMSampler
+from repro.runtime import (
+    CheckpointError,
+    RunManifest,
+    RunSpec,
+    RunStore,
+    RunStoreError,
+    has_checkpoint,
+    load_checkpoint,
+    parallel_map,
+    save_checkpoint,
+)
+from repro.runtime.checkpoint import checkpoint_paths
+from repro.utils.timing import TimingLedger
+
+
+def _spec(**overrides) -> RunSpec:
+    defaults = dict(
+        run_id="testrun",
+        target="1cex(40:51)",
+        config=SamplingConfig(population_size=16, n_complexes=4, iterations=3, seed=5),
+        n_trajectories=4,
+        base_seed=11,
+        backends=("gpu", "cpu-batched"),
+        checkpoint_every=2,
+        workers=2,
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec / RunManifest
+# ---------------------------------------------------------------------------
+
+
+class TestRunSpec:
+    def test_round_trip(self):
+        spec = _spec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_shard_seeds_deterministic_and_distinct(self):
+        spec = _spec()
+        seeds = [spec.shard_seed(i) for i in range(spec.n_trajectories)]
+        assert seeds == [spec.shard_seed(i) for i in range(spec.n_trajectories)]
+        assert len(set(seeds)) == len(seeds)
+        # Seeds derive from the base seed, not the shard alone.
+        other = _spec(base_seed=12)
+        assert other.shard_seed(0) != spec.shard_seed(0)
+
+    def test_backends_assigned_round_robin(self):
+        spec = _spec()
+        kinds = [spec.shard(i).backend for i in range(4)]
+        assert kinds == ["gpu", "cpu-batched", "gpu", "cpu-batched"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(run_id="bad id with spaces")
+        with pytest.raises(ValueError):
+            _spec(n_trajectories=0)
+        with pytest.raises(ValueError):
+            _spec(backends=())
+        with pytest.raises(ValueError):
+            _spec(checkpoint_every=-1)
+        with pytest.raises(IndexError):
+            _spec().shard(99)
+
+    def test_manifest_round_trip(self):
+        manifest = RunManifest(spec=_spec())
+        payload = json.loads(json.dumps(manifest.to_dict()))
+        assert RunManifest.from_dict(payload) == manifest
+
+    def test_manifest_rejects_edited_shard_table(self):
+        payload = RunManifest(spec=_spec()).to_dict()
+        payload["shards"][0]["seed"] += 1
+        with pytest.raises(ValueError, match="shard table"):
+            RunManifest.from_dict(payload)
+
+    def test_manifest_rejects_unknown_version(self):
+        payload = RunManifest(spec=_spec()).to_dict()
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="format_version"):
+            RunManifest.from_dict(payload)
+
+
+class TestRuntimeConfig:
+    def test_defaults_valid(self):
+        config = RuntimeConfig()
+        assert config.workers >= 1
+        assert config.backends
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(workers=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(checkpoint_every=-1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(backends=())
+
+
+# ---------------------------------------------------------------------------
+# RunStore
+# ---------------------------------------------------------------------------
+
+
+class TestRunStore:
+    def test_create_and_reload(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.create_run(spec)
+        assert store.list_runs() == ["testrun"]
+        assert store.load_manifest("testrun").spec == spec
+
+    def test_create_conflicts(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run(_spec())
+        with pytest.raises(RunStoreError, match="already exists"):
+            store.create_run(_spec())
+        # Same spec with exist_ok is fine; a different spec is not.
+        store.create_run(_spec(), exist_ok=True)
+        with pytest.raises(RunStoreError, match="different spec"):
+            store.create_run(_spec(base_seed=99), exist_ok=True)
+
+    def test_unknown_run(self, tmp_path):
+        with pytest.raises(RunStoreError, match="unknown run"):
+            RunStore(tmp_path).load_manifest("nope")
+
+    def test_shard_status_default_and_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.read_shard_status("r", 0) == {"state": "pending"}
+        store.write_shard_status("r", 0, state="running", iteration=7)
+        assert store.read_shard_status("r", 0)["iteration"] == 7
+
+    def test_decoys_round_trip(self, tmp_path, rng):
+        store = RunStore(tmp_path)
+        decoys = DecoySet(distinctness_threshold=0.25)
+        for i in range(5):
+            decoys.absorb(
+                Decoy(
+                    torsions=rng.uniform(-3, 3, size=12),
+                    coords=rng.normal(size=(6, 4, 3)),
+                    scores=rng.normal(size=3),
+                    rmsd=float(i),
+                    trajectory=i % 2,
+                )
+            )
+        ledger = TimingLedger()
+        ledger.add("CCD", 1.5, calls=3)
+        store.save_shard_result(
+            "r", 1, decoys, {"shard": 1}, kernel_ledger=ledger
+        )
+        loaded = store.load_shard_decoys("r", 1)
+        assert len(loaded) == 5
+        assert loaded.distinctness_threshold == 0.25
+        for a, b in zip(decoys, loaded):
+            assert np.array_equal(a.torsions, b.torsions)
+            assert np.array_equal(a.coords, b.coords)
+            assert np.array_equal(a.scores, b.scores)
+            assert a.rmsd == b.rmsd and a.trajectory == b.trajectory
+        ledgers = store.load_shard_ledgers("r", 1)
+        assert ledgers["kernel"].records["CCD"].calls == 3
+        assert ledgers["kernel"].records["CCD"].total_seconds == 1.5
+
+    def test_empty_decoy_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_shard_result("r", 0, DecoySet(), {"shard": 0})
+        assert len(store.load_shard_decoys("r", 0)) == 0
+
+    def test_merged_missing(self, tmp_path):
+        with pytest.raises(RunStoreError, match="not been merged"):
+            RunStore(tmp_path).load_merged("r")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint serialisation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_sampler(small_target, small_multi_score):
+    config = SamplingConfig(population_size=8, n_complexes=2, iterations=4, seed=2)
+    return MOSCEMSampler(
+        small_target, config=config, multi_score=small_multi_score,
+        backend_kind="gpu",
+    )
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path, small_sampler):
+        state = small_sampler.initial_state(seed=13)
+        small_sampler.step(state)
+        save_checkpoint(tmp_path, state, extra={"shard": 0})
+        assert has_checkpoint(tmp_path)
+
+        restored = load_checkpoint(tmp_path, small_sampler)
+        assert restored.iteration == state.iteration
+        assert restored.seed == 13
+        assert np.array_equal(restored.population.torsions, state.population.torsions)
+        assert np.array_equal(restored.population.coords, state.population.coords)
+        assert np.array_equal(restored.population.scores, state.population.scores)
+        assert np.array_equal(restored.population.fitness, state.population.fitness)
+        assert restored.schedule.temperature == state.schedule.temperature
+        assert restored.acceptance_history == state.acceptance_history
+        assert restored.rng_states() == state.rng_states()
+        # The restored streams continue with the exact same draws.
+        assert restored.mutation_rng.random() == state.mutation_rng.random()
+        assert restored.metropolis_rng.random() == state.metropolis_rng.random()
+
+    def test_missing_checkpoint(self, tmp_path, small_sampler):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path, small_sampler)
+
+    def test_corrupted_arrays_rejected(self, tmp_path, small_sampler):
+        state = small_sampler.initial_state(seed=1)
+        save_checkpoint(tmp_path, state)
+        npz = checkpoint_paths(tmp_path)["npz"]
+        data = bytearray(npz.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        npz.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="hash"):
+            load_checkpoint(tmp_path, small_sampler)
+
+    def test_partial_write_rejected(self, tmp_path, small_sampler):
+        state = small_sampler.initial_state(seed=1)
+        save_checkpoint(tmp_path, state)
+        npz = checkpoint_paths(tmp_path)["npz"]
+        npz.write_bytes(npz.read_bytes()[:100])  # truncated mid-write
+        with pytest.raises(CheckpointError, match="hash"):
+            load_checkpoint(tmp_path, small_sampler)
+
+    def test_unreadable_manifest_rejected(self, tmp_path, small_sampler):
+        state = small_sampler.initial_state(seed=1)
+        save_checkpoint(tmp_path, state)
+        checkpoint_paths(tmp_path)["json"].write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(tmp_path, small_sampler)
+
+    def test_population_mismatch_rejected(self, tmp_path, small_sampler, small_target, small_multi_score):
+        state = small_sampler.initial_state(seed=1)
+        save_checkpoint(tmp_path, state)
+        other = MOSCEMSampler(
+            small_target,
+            config=SamplingConfig(population_size=12, n_complexes=2, iterations=4),
+            multi_score=small_multi_score,
+            backend_kind="gpu",
+        )
+        with pytest.raises(CheckpointError, match="members"):
+            load_checkpoint(tmp_path, other)
+
+    def test_iteration_out_of_range_rejected(self, tmp_path, small_sampler, small_target, small_multi_score):
+        state = small_sampler.initial_state(seed=1)
+        for _ in range(4):
+            small_sampler.step(state)
+        save_checkpoint(tmp_path, state)
+        shorter = MOSCEMSampler(
+            small_target,
+            config=SamplingConfig(population_size=8, n_complexes=2, iterations=2),
+            multi_score=small_multi_score,
+            backend_kind="gpu",
+        )
+        with pytest.raises(CheckpointError, match="iteration"):
+            load_checkpoint(tmp_path, shorter)
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_inline_preserves_order(self):
+        events = []
+        out = parallel_map(
+            _square, [3, 1, 2], workers=1,
+            on_result=lambda i, r: events.append((i, r)),
+        )
+        assert out == [9, 1, 4]
+        assert events == [(0, 9), (1, 1), (2, 4)]
+
+    def test_pool_preserves_order(self):
+        assert parallel_map(_square, list(range(10)), workers=2) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
