@@ -11,10 +11,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-moscem",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of a GPU-accelerated multi-objective MOSCEM loop "
-        "sampler, with a sharded checkpoint/resume runtime"
+        "sampler, with a declarative campaign API over a sharded "
+        "checkpoint/resume runtime"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -22,9 +23,15 @@ setup(
     install_requires=["numpy"],
     entry_points={
         "console_scripts": [
+            "repro-campaign=repro.cli:campaign_main",
+            "repro-daemon=repro.cli:daemon_main",
             "repro-experiments=repro.cli:experiments_main",
             "repro-sample=repro.cli:sample_main",
             "repro-batch=repro.cli:batch_main",
-        ]
+        ],
+        # The component registries (repro.api.registry) scan these groups,
+        # so other distributions can contribute backends/scorers by name.
+        "repro.backends": [],
+        "repro.scorers": [],
     },
 )

@@ -55,8 +55,19 @@ from repro.experiments import (
     run_experiment,
     run_experiments,
 )
+from repro.api import (
+    Campaign,
+    CampaignHandle,
+    CampaignResult,
+    Session,
+    TrajectoryResult,
+    campaign,
+    load_campaign,
+    register_backend,
+    register_scorer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -97,4 +108,14 @@ __all__ = [
     "list_experiments",
     "run_experiment",
     "run_experiments",
+    # Campaign API (the public front door; see repro.api)
+    "Campaign",
+    "CampaignHandle",
+    "CampaignResult",
+    "Session",
+    "TrajectoryResult",
+    "campaign",
+    "load_campaign",
+    "register_backend",
+    "register_scorer",
 ]

@@ -131,7 +131,7 @@ def structure_coverage(
         Coordinate RMSD (A) below which two decoys count as the same
         structure.
     """
-    from repro.geometry.rmsd import coordinate_rmsd
+    from repro.geometry.rmsd import rmsd_neighbor_mask
 
     coords_a = np.asarray(coords_a, dtype=np.float64)
     coords_b = np.asarray(coords_b, dtype=np.float64)
@@ -139,13 +139,10 @@ def structure_coverage(
         raise ValueError("rmsd_cutoff must be positive")
     if coords_a.shape[0] == 0 or coords_b.shape[0] == 0:
         return 0.0
-    matched = 0
-    for a in coords_a:
-        for b in coords_b:
-            if coordinate_rmsd(a, b) <= rmsd_cutoff:
-                matched += 1
-                break
-    return matched / coords_a.shape[0]
+    # Batch path with centroid cell-list pruning — outcome-identical to the
+    # all-pairs scan (see rmsd_neighbor_mask).
+    matched = rmsd_neighbor_mask(coords_a, coords_b, rmsd_cutoff)
+    return float(matched.sum() / coords_a.shape[0])
 
 
 def cluster_overlap(

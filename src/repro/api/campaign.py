@@ -1,0 +1,191 @@
+"""Declarative campaign construction: builders, dict and TOML front ends.
+
+The :class:`~repro.runtime.spec.Campaign` dataclass is the exact,
+manifest-round-trippable spec; this module provides the friendlier ways of
+writing one down:
+
+* :func:`campaign` — keyword builder with forgiving axis types (a single
+  target string, a bare :class:`SamplingConfig`, an integer seed count);
+* :func:`campaign_from_dict` — the configuration-file schema, shared by
+  TOML and JSON documents;
+* :func:`load_campaign` — read a ``.toml`` (via :mod:`tomllib`) or
+  ``.json`` campaign file, e.g. ``examples/table_iv.toml``;
+* :func:`expand_grid` — the bare cartesian-product helper experiment
+  drivers use for declarative sweeps that are not sampler campaigns.
+
+The file schema::
+
+    [campaign]
+    id = "table-iv-smoke"
+    targets = ["1cex(40:51)", "1akz(181:192)"]
+    seeds = 2                  # replicate count, or an explicit list
+    backends = ["gpu"]
+    base_seed = 0
+    checkpoint_every = 5
+    workers = 2
+
+    [configs.default]          # one table per named config
+    population_size = 64
+    n_complexes = 4
+    iterations = 10
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config import SamplingConfig
+from repro.runtime.spec import Campaign
+
+__all__ = [
+    "campaign",
+    "campaign_from_dict",
+    "load_campaign",
+    "expand_grid",
+]
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(SamplingConfig)}
+
+
+def _as_tuple(value, kind: str) -> Tuple:
+    if isinstance(value, str):
+        return (value,)
+    try:
+        return tuple(value)
+    except TypeError:
+        raise TypeError(f"campaign {kind} must be a sequence, got {value!r}") from None
+
+
+def _as_seeds(value) -> Tuple[int, ...]:
+    if isinstance(value, bool):
+        raise TypeError("campaign seeds must be an int count or a sequence")
+    if isinstance(value, int):
+        if value <= 0:
+            raise ValueError("campaign seed count must be positive")
+        return tuple(range(value))
+    return tuple(int(s) for s in _as_tuple(value, "seeds"))
+
+
+def _as_configs(value) -> Tuple[Tuple[str, SamplingConfig], ...]:
+    if isinstance(value, SamplingConfig):
+        return (("default", value),)
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = value
+    configs = []
+    for name, config in items:
+        if isinstance(config, Mapping):
+            unknown = set(config) - _CONFIG_FIELDS
+            if unknown:
+                raise ValueError(
+                    f"config {name!r} has unknown sampling fields: {sorted(unknown)}"
+                )
+            config = SamplingConfig(**config)
+        configs.append((str(name), config))
+    return tuple(configs)
+
+
+def campaign(
+    campaign_id: str,
+    targets: Union[str, Sequence[str]],
+    configs: Union[SamplingConfig, Mapping[str, Any], Sequence[Tuple[str, SamplingConfig]]],
+    seeds: Union[int, Sequence[int]] = 1,
+    backends: Union[str, Sequence[str], None] = None,
+    base_seed: int = 0,
+    checkpoint_every: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Campaign:
+    """Build a :class:`Campaign` with forgiving axis types.
+
+    Accepts a single target string or a list; one bare
+    :class:`SamplingConfig` (named ``"default"``), a name-to-config
+    mapping (values may be plain field dicts), or explicit pairs; an
+    integer replicate count or explicit seed labels; and a single backend
+    name or a list.  Omitted runtime fields take the
+    :class:`~repro.config.RuntimeConfig` defaults.
+    """
+    kwargs: Dict[str, Any] = {}
+    if backends is not None:
+        kwargs["backends"] = _as_tuple(backends, "backends")
+    if checkpoint_every is not None:
+        kwargs["checkpoint_every"] = int(checkpoint_every)
+    if workers is not None:
+        kwargs["workers"] = int(workers)
+    return Campaign(
+        campaign_id=campaign_id,
+        targets=_as_tuple(targets, "targets"),
+        configs=_as_configs(configs),
+        seeds=_as_seeds(seeds),
+        base_seed=int(base_seed),
+        **kwargs,
+    )
+
+
+def campaign_from_dict(payload: Mapping[str, Any]) -> Campaign:
+    """Build a campaign from the configuration-file schema (see module doc)."""
+    if "campaign" not in payload:
+        raise ValueError("campaign document must contain a [campaign] section")
+    section = dict(payload["campaign"])
+    configs = payload.get("configs")
+    if not configs:
+        raise ValueError("campaign document must define at least one [configs.<name>]")
+    campaign_id = section.pop("id", None) or section.pop("campaign_id", None)
+    if not campaign_id:
+        raise ValueError("the [campaign] section must set an 'id'")
+    targets = section.pop("targets", None)
+    if targets is None:
+        raise ValueError("the [campaign] section must list 'targets'")
+    known = {"seeds", "backends", "base_seed", "checkpoint_every", "workers"}
+    unknown = set(section) - known
+    if unknown:
+        raise ValueError(f"unknown [campaign] keys: {sorted(unknown)}")
+    return campaign(
+        campaign_id=str(campaign_id),
+        targets=targets,
+        configs=configs,
+        seeds=section.get("seeds", 1),
+        backends=section.get("backends"),
+        base_seed=section.get("base_seed", 0),
+        checkpoint_every=section.get("checkpoint_every"),
+        workers=section.get("workers"),
+    )
+
+
+def load_campaign(path: Union[str, Path]) -> Campaign:
+    """Load a campaign document from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        return campaign_from_dict(json.loads(text))
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11 without tomli
+        try:
+            import tomli as tomllib
+        except ImportError:
+            raise RuntimeError(
+                "reading TOML campaign files needs Python >= 3.11 (tomllib) "
+                "or the 'tomli' package; alternatively provide the campaign "
+                "as JSON with the same schema"
+            ) from None
+    return campaign_from_dict(tomllib.loads(text))
+
+
+def expand_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of coordinate dicts.
+
+    ``expand_grid(target=["a", "b"], backend=["cpu", "gpu"])`` yields four
+    dicts in row-major (first axis slowest) order.  This is the declarative
+    sweep helper for grids that are *not* sampler campaigns (e.g. the
+    occupancy table's kernel x device grid).
+    """
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*values)
+    ]

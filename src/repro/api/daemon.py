@@ -1,0 +1,205 @@
+"""The store-draining daemon behind asynchronous campaign submission.
+
+``Session.submit`` only writes a manifest; this module is what turns
+pending manifests into results.  :func:`drain_once` scans the store for
+cells without results (skipping cancelled campaigns), fans **all** of them
+— across every pending campaign — through one worker pool, and returns a
+report.  Batching across campaigns matters: workers keep process-level
+caches of targets, knowledge bases and assembled scoring stacks (see
+:mod:`repro.runtime.executor`), so draining ten campaigns over the same
+benchmark in one pool builds each target's tables once, not ten times.
+
+:func:`serve` wraps ``drain_once`` in a poll loop for the ``repro-daemon``
+entry point.  Because cell execution is idempotent and checkpointed, a
+daemon killed mid-drain loses nothing: the next drain re-schedules only
+the unfinished cells, each resuming from its latest checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import RuntimeConfig
+from repro.runtime.executor import _cell_task, parallel_map
+from repro.runtime.spec import CellSpec
+from repro.runtime.store import RunStore, RunStoreError
+
+__all__ = ["DrainReport", "drain_once", "serve"]
+
+_DEFAULTS = RuntimeConfig()
+
+ProgressFn = Callable[[str], None]
+
+
+#: Default per-cell attempt cap of a drain pass; cells that failed this
+#: many times are parked rather than retried (see :func:`drain_once`).
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one drain pass over the store."""
+
+    executed: int = 0
+    failed: int = 0
+    skipped_cancelled: int = 0
+    skipped_exhausted: int = 0
+    campaigns: List[str] = field(default_factory=list)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def idle(self) -> bool:
+        """Whether the pass found nothing left worth attempting.
+
+        A pass that attempted cells — even unsuccessfully — is not idle;
+        clients polling on ``idle`` would otherwise quiesce while
+        retryable work remains.
+        """
+        return (
+            self.executed == 0
+            and self.failed == 0
+            and self.skipped_cancelled == 0
+        )
+
+
+def _pending_cells(
+    store: RunStore,
+    progress: Optional[ProgressFn],
+    max_attempts: Optional[int],
+) -> tuple:
+    """Drainable cells plus the cancelled- and exhausted-cell counts."""
+    pending: List[CellSpec] = []
+    skipped = 0
+    exhausted = 0
+    campaigns: List[str] = []
+    for run_id in store.list_runs():
+        try:
+            spec = store.load_manifest(run_id).spec
+        except RunStoreError as exc:
+            # A corrupt manifest must not wedge the whole daemon.
+            if progress is not None:
+                progress(f"{run_id}: skipping unreadable manifest ({exc})")
+            continue
+        unfinished = [
+            cell
+            for cell in spec.cells()
+            if not store.has_shard_result(run_id, cell.index)
+        ]
+        if not unfinished:
+            continue
+        if store.is_cancelled(run_id):
+            skipped += len(unfinished)
+            continue
+        drainable = []
+        for cell in unfinished:
+            attempts = int(
+                store.read_shard_status(run_id, cell.index).get("attempts", 0)
+            )
+            if max_attempts is not None and attempts >= max_attempts:
+                exhausted += 1
+                if progress is not None:
+                    progress(
+                        f"{run_id}/{cell.name}: parked after {attempts} failed "
+                        "attempt(s); re-drain with a higher --max-attempts to retry"
+                    )
+            else:
+                drainable.append(cell)
+        if drainable:
+            campaigns.append(run_id)
+            pending.extend(drainable)
+    return pending, skipped, exhausted, campaigns
+
+
+def drain_once(
+    store: RunStore,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+) -> DrainReport:
+    """Execute every drainable cell in the store through one worker pool.
+
+    Cell failures are recorded in the report (and in the cells' status
+    documents) rather than raised — a daemon must outlive a bad campaign.
+    Failed cells stay pending and are retried by later passes up to
+    ``max_attempts`` times (counted in their status documents), after
+    which they are parked so a deterministically broken cell cannot turn
+    :func:`serve` into a hot retry loop.  ``max_attempts=None`` retries
+    without bound.
+    """
+    pending, skipped, exhausted, campaigns = _pending_cells(
+        store, progress, max_attempts
+    )
+    report = DrainReport(
+        skipped_cancelled=skipped,
+        skipped_exhausted=exhausted,
+        campaigns=campaigns,
+    )
+    if not pending:
+        if progress is not None and skipped == 0:
+            progress(f"store {store.root}: nothing to drain")
+        return report
+
+    if progress is not None:
+        progress(
+            f"store {store.root}: draining {len(pending)} cell(s) from "
+            f"{len(campaigns)} campaign(s)"
+        )
+    payloads = [
+        {"store_root": str(store.root), "cell": cell.to_dict()} for cell in pending
+    ]
+
+    def _report(pos: int, summary: Dict) -> None:
+        cell = pending[pos]
+        if "error" in summary:
+            report.failed += 1
+            report.errors[f"{cell.run_id}/{cell.name}"] = summary["error"]
+            if progress is not None:
+                progress(f"{cell.run_id}/{cell.name}: FAILED {summary['error']}")
+        elif progress is not None:
+            progress(
+                f"{cell.run_id}/{cell.name}: done in "
+                f"{summary.get('wall_seconds', 0.0):.2f}s, "
+                f"{summary.get('n_decoys', 0)} decoys"
+            )
+
+    effective_workers = workers if workers is not None else _DEFAULTS.workers
+    parallel_map(_cell_task, payloads, effective_workers, on_result=_report)
+    report.executed = len(pending) - report.failed
+    return report
+
+
+def serve(
+    store: RunStore,
+    workers: Optional[int] = None,
+    poll_seconds: float = _DEFAULTS.poll_seconds,
+    max_cycles: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+) -> DrainReport:
+    """Drain the store in a loop, sleeping ``poll_seconds`` between passes.
+
+    ``max_cycles`` bounds the number of passes (``None`` serves forever);
+    the report of the final pass is returned.  The loop also exits on
+    ``KeyboardInterrupt`` — killing the daemon is the intended shutdown,
+    and loses no work.
+    """
+    report = DrainReport()
+    cycle = 0
+    try:
+        while max_cycles is None or cycle < max_cycles:
+            report = drain_once(
+                store,
+                workers=workers,
+                progress=progress,
+                max_attempts=max_attempts,
+            )
+            cycle += 1
+            if max_cycles is not None and cycle >= max_cycles:
+                break
+            time.sleep(poll_seconds)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        if progress is not None:
+            progress("daemon interrupted; pending cells remain drainable")
+    return report

@@ -1,0 +1,260 @@
+"""Typed result objects of the campaign layer.
+
+Everything below the API returns store documents (plain dicts) because
+they cross process and filesystem boundaries; everything the API hands
+back to users is typed:
+
+* :class:`TrajectoryResult` — one completed campaign cell: its grid
+  coordinates, run metrics, the harvested decoy set and the host/kernel
+  timing ledgers.
+* :class:`CampaignResult` — the completed grid.  Aggregation reuses the
+  cross-shard machinery of :mod:`repro.analysis.aggregation` (decoy-set
+  union / distinctness re-application, ledger summation) and the Table IV
+  quality summary of :mod:`repro.analysis.decoys`, applied per target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
+from repro.analysis.decoys import TargetQuality, evaluate_decoy_set
+from repro.analysis.reporting import TextTable
+from repro.moscem.decoys import DecoySet
+from repro.utils.timing import TimingLedger
+
+__all__ = ["TrajectoryResult", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class TrajectoryResult:
+    """One completed trajectory (campaign cell) with its artefacts.
+
+    Attributes
+    ----------
+    campaign_id / index:
+        Which campaign the trajectory belongs to and its flat cell index.
+    target / config_name / seed_index / backend:
+        The cell's grid coordinates (``backend`` is the registry name the
+        cell was scheduled on; ``backend_name`` the backend's own label).
+    seed:
+        The derived RNG seed the trajectory ran with.
+    decoys:
+        The structurally distinct non-dominated decoys the cell harvested.
+    host_ledger / kernel_ledger:
+        Timing breakdowns of the host sections and backend kernels.
+    wall_seconds:
+        Sampler wall-clock time (for resumed cells: the final segment).
+    resumed_from:
+        Iteration the cell resumed from, or ``None`` for uninterrupted runs.
+    """
+
+    campaign_id: str
+    index: int
+    target: str
+    config_name: str
+    seed_index: int
+    backend: str
+    backend_name: str
+    seed: int
+    iterations: int
+    wall_seconds: float
+    best_rmsd: float
+    best_front_rmsd: float
+    n_non_dominated: int
+    final_acceptance: Optional[float]
+    resumed_from: Optional[int]
+    decoys: DecoySet
+    host_ledger: TimingLedger = field(default_factory=TimingLedger)
+    kernel_ledger: TimingLedger = field(default_factory=TimingLedger)
+
+    @property
+    def n_decoys(self) -> int:
+        """Number of decoys the trajectory harvested."""
+        return len(self.decoys)
+
+    @classmethod
+    def from_store(cls, store, cell) -> "TrajectoryResult":
+        """Load the result of a completed cell from the run store."""
+        summary, decoys, ledgers = store.load_shard_result(cell.run_id, cell.index)
+        acceptance = summary.get("final_acceptance")
+        resumed = summary.get("resumed_from")
+        return cls(
+            campaign_id=cell.run_id,
+            index=cell.index,
+            target=cell.target,
+            config_name=cell.config_name,
+            seed_index=cell.seed_index,
+            backend=cell.backend,
+            backend_name=str(summary.get("backend", cell.backend)),
+            seed=cell.seed,
+            iterations=int(summary.get("iterations", cell.config.iterations)),
+            wall_seconds=float(summary.get("wall_seconds", 0.0)),
+            best_rmsd=float(summary.get("best_rmsd", float("inf"))),
+            best_front_rmsd=float(summary.get("best_front_rmsd", float("inf"))),
+            n_non_dominated=int(summary.get("n_non_dominated", 0)),
+            final_acceptance=None if acceptance is None else float(acceptance),
+            resumed_from=None if resumed is None else int(resumed),
+            decoys=decoys,
+            host_ledger=ledgers["host"],
+            kernel_ledger=ledgers["kernel"],
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All trajectories of a completed campaign, with per-target aggregation."""
+
+    campaign_id: str
+    trajectories: List[TrajectoryResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self):
+        return iter(self.trajectories)
+
+    # ------------------------------------------------------------------
+    # Grouping
+    # ------------------------------------------------------------------
+
+    def targets(self) -> List[str]:
+        """Target names in first-appearance (grid) order."""
+        seen: Dict[str, None] = {}
+        for trajectory in self.trajectories:
+            seen.setdefault(trajectory.target, None)
+        return list(seen)
+
+    def by_target(self) -> Dict[str, List[TrajectoryResult]]:
+        """Trajectories grouped by target, groups in grid order."""
+        groups: Dict[str, List[TrajectoryResult]] = {}
+        for trajectory in self.trajectories:
+            groups.setdefault(trajectory.target, []).append(trajectory)
+        return groups
+
+    def select(
+        self,
+        target: Optional[str] = None,
+        config_name: Optional[str] = None,
+        seed_index: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> List[TrajectoryResult]:
+        """Trajectories matching every given grid coordinate."""
+        return [
+            t
+            for t in self.trajectories
+            if (target is None or t.target == target)
+            and (config_name is None or t.config_name == config_name)
+            and (seed_index is None or t.seed_index == seed_index)
+            and (backend is None or t.backend == backend)
+        ]
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _one_target(self, target: Optional[str]) -> str:
+        targets = self.targets()
+        if target is None:
+            if len(targets) != 1:
+                raise ValueError(
+                    f"campaign {self.campaign_id!r} spans targets {targets}; "
+                    "name the target to aggregate"
+                )
+            return targets[0]
+        if target not in targets:
+            raise KeyError(
+                f"campaign {self.campaign_id!r} has no target {target!r} "
+                f"(available: {targets})"
+            )
+        return target
+
+    def merged_decoys(
+        self, target: Optional[str] = None, distinct_only: bool = False
+    ) -> DecoySet:
+        """The merged decoy set of one target (the only one if unnamed).
+
+        Union by default; ``distinct_only`` re-applies the paper's
+        30-degree distinctness rule across trajectories.
+        """
+        target = self._one_target(target)
+        return merge_decoy_sets(
+            [t.decoys for t in self.select(target=target)],
+            distinct_only=distinct_only,
+        )
+
+    def merged_ledgers(self) -> Dict[str, TimingLedger]:
+        """Summed host and kernel timing ledgers over every trajectory."""
+        return {
+            "host": merge_timing_ledgers(t.host_ledger for t in self.trajectories),
+            "kernel": merge_timing_ledgers(
+                t.kernel_ledger for t in self.trajectories
+            ),
+        }
+
+    def best_rmsd(self, target: Optional[str] = None) -> float:
+        """Lowest decoy RMSD of one target (falling back to the front best)."""
+        target = self._one_target(target)
+        cells = self.select(target=target)
+        merged = self.merged_decoys(target)
+        if len(merged):
+            return merged.best_rmsd()
+        return min((t.best_front_rmsd for t in cells), default=float("inf"))
+
+    def decoy_quality(
+        self, target: Optional[str] = None, distinct_only: bool = False
+    ) -> TargetQuality:
+        """Table IV-style quality summary of one target's merged decoy set."""
+        from repro.loops.targets import get_target
+
+        target = self._one_target(target)
+        decoys = self.merged_decoys(target, distinct_only=distinct_only)
+        return evaluate_decoy_set(decoys, target, get_target(target).n_residues)
+
+    def wall_seconds(self) -> float:
+        """Summed sampler wall-clock time across every trajectory."""
+        return sum(t.wall_seconds for t in self.trajectories)
+
+    # ------------------------------------------------------------------
+    # Rendering / serialisation
+    # ------------------------------------------------------------------
+
+    def to_table(self) -> TextTable:
+        """Per-target summary table (the campaign's headline view)."""
+        table = TextTable(
+            headers=[
+                "target",
+                "trajectories",
+                "decoys",
+                "best RMSD (A)",
+                "wall time (s)",
+            ],
+            title=f"Campaign {self.campaign_id}",
+            float_digits=2,
+        )
+        for target, cells in self.by_target().items():
+            table.add_row(
+                target,
+                len(cells),
+                sum(t.n_decoys for t in cells),
+                self.best_rmsd(target),
+                sum(t.wall_seconds for t in cells),
+            )
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (decoy arrays stay in the store)."""
+        return {
+            "campaign_id": self.campaign_id,
+            "n_trajectories": len(self.trajectories),
+            "targets": {
+                target: {
+                    "trajectories": len(cells),
+                    "n_decoys": sum(t.n_decoys for t in cells),
+                    "best_rmsd": self.best_rmsd(target),
+                    "wall_seconds": sum(t.wall_seconds for t in cells),
+                }
+                for target, cells in self.by_target().items()
+            },
+        }

@@ -1,0 +1,352 @@
+"""Sessions and campaign handles: the API's execution surface.
+
+A :class:`Session` binds a run store and turns declarative
+:class:`~repro.runtime.spec.Campaign` grids into results two ways:
+
+* :meth:`Session.run` — synchronous: execute every cell (resuming any
+  that already have checkpoints) and return a typed
+  :class:`~repro.api.results.CampaignResult`;
+* :meth:`Session.submit` — asynchronous: persist the manifest and return
+  a :class:`CampaignHandle` immediately.  A ``repro-daemon`` process (or
+  :func:`repro.api.daemon.drain_once`) executes the pending cells; the
+  handle polls the store for :meth:`~CampaignHandle.status`,
+  :meth:`~CampaignHandle.result` and :meth:`~CampaignHandle.cancel`.
+
+Submission and execution share the store as their only coupling, so the
+submitting process, the daemon and any number of status watchers can live
+in different processes (or outlive each other) without coordination.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.config import RuntimeConfig
+from repro.runtime.executor import ShardExecutor
+from repro.runtime.spec import Campaign, RunSpec, shard_name
+from repro.runtime.store import RunStore
+from repro.api.results import CampaignResult, TrajectoryResult
+
+__all__ = [
+    "Session",
+    "CampaignHandle",
+    "CampaignStatus",
+    "CellStatus",
+    "CampaignError",
+    "CampaignIncomplete",
+]
+
+_DEFAULTS = RuntimeConfig()
+
+
+class CampaignError(RuntimeError):
+    """A campaign operation failed."""
+
+
+class CampaignIncomplete(CampaignError):
+    """A result was requested before every cell completed."""
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """Live state of one campaign cell, read from the store."""
+
+    index: int
+    target: str
+    config_name: str
+    seed_index: int
+    backend: str
+    state: str
+    iteration: int
+    iterations: int
+    n_decoys: Optional[int] = None
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Point-in-time view of a campaign's progress."""
+
+    campaign_id: str
+    cells: Tuple[CellStatus, ...]
+    cancelled: bool = False
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Number of cells per state (``pending``/``running``/``done``/...)."""
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.state] = counts.get(cell.state, 0) + 1
+        return counts
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells in the campaign."""
+        return len(self.cells)
+
+    @property
+    def n_done(self) -> int:
+        """Number of cells with results on disk."""
+        return sum(1 for cell in self.cells if cell.state == "done")
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell has a result."""
+        return self.n_done == self.n_cells
+
+    @property
+    def failed(self) -> Tuple[CellStatus, ...]:
+        """Cells whose last attempt errored (they stay drainable)."""
+        return tuple(cell for cell in self.cells if cell.state == "failed")
+
+    def render(self) -> str:
+        """Plain-text table for the command-line ``status`` views."""
+        lines = [
+            f"campaign {self.campaign_id}: {self.n_done}/{self.n_cells} cells done"
+            + (" (CANCELLED)" if self.cancelled else "")
+        ]
+        header = (
+            f"{'cell':<12}{'target':<16}{'config':<12}{'seed':>4}  "
+            f"{'backend':<14}{'state':<10}{'iteration':>10}{'decoys':>8}"
+        )
+        lines.append(header)
+        for cell in self.cells:
+            decoys = "" if cell.n_decoys is None else cell.n_decoys
+            lines.append(
+                f"{shard_name(cell.index):<12}{cell.target:<16}{cell.config_name:<12}"
+                f"{cell.seed_index:>4}  {cell.backend:<14}{cell.state:<10}"
+                f"{cell.iteration:>6}/{cell.iterations:<4}{decoys!s:>7}"
+            )
+        return "\n".join(lines)
+
+
+class CampaignHandle:
+    """A lightweight, store-backed reference to a submitted campaign.
+
+    Handles hold no execution state: every method re-reads the store, so a
+    handle constructed in a different process (or after a restart) behaves
+    identically to the one ``submit`` returned.
+    """
+
+    def __init__(self, store: RunStore, campaign_id: str) -> None:
+        self.store = store
+        self.campaign_id = campaign_id
+        self._spec: Optional[Union[Campaign, RunSpec]] = None
+
+    @property
+    def spec(self) -> Union[Campaign, RunSpec]:
+        """The submitted spec, loaded (once) from the store manifest."""
+        if self._spec is None:
+            self._spec = self.store.load_manifest(self.campaign_id).spec
+        return self._spec
+
+    def status(self) -> CampaignStatus:
+        """Poll the store for the live per-cell state."""
+        cells: List[CellStatus] = []
+        for cell in self.spec.cells():
+            status = self.store.read_shard_status(self.campaign_id, cell.index)
+            state = str(status.get("state", "pending"))
+            iteration = int(status.get("iteration", 0) or 0)
+            n_decoys = status.get("n_decoys")
+            if self.store.has_shard_result(self.campaign_id, cell.index):
+                # Result files are the ground truth; a worker killed between
+                # writing them and its final status update still shows done.
+                state = "done"
+                iteration = cell.config.iterations
+                if n_decoys is None:
+                    n_decoys = self.store.load_shard_summary(
+                        self.campaign_id, cell.index
+                    ).get("n_decoys")
+            cells.append(
+                CellStatus(
+                    index=cell.index,
+                    target=cell.target,
+                    config_name=cell.config_name,
+                    seed_index=cell.seed_index,
+                    backend=cell.backend,
+                    state=state,
+                    iteration=iteration,
+                    iterations=cell.config.iterations,
+                    n_decoys=None if n_decoys is None else int(n_decoys),
+                    error=status.get("error"),
+                )
+            )
+        return CampaignStatus(
+            campaign_id=self.campaign_id,
+            cells=tuple(cells),
+            cancelled=self.store.is_cancelled(self.campaign_id),
+        )
+
+    def wait(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> CampaignStatus:
+        """Block until the campaign completes (or the timeout elapses)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status()
+            if status.complete:
+                return status
+            if status.cancelled:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                return status
+            time.sleep(poll_seconds)
+
+    def result(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> CampaignResult:
+        """The typed campaign result; raises if cells are still pending.
+
+        With a ``timeout`` the handle polls the store until every cell
+        completes (or raises :class:`CampaignIncomplete` at the deadline);
+        without one it requires the campaign to be complete already.
+        """
+        status = (
+            self.status() if timeout is None else self.wait(timeout, poll_seconds)
+        )
+        if not status.complete:
+            raise CampaignIncomplete(
+                f"campaign {self.campaign_id!r} has "
+                f"{status.n_cells - status.n_done} unfinished cell(s) "
+                f"(states: {status.counts})"
+            )
+        return CampaignResult(
+            campaign_id=self.campaign_id,
+            trajectories=[
+                TrajectoryResult.from_store(self.store, cell)
+                for cell in self.spec.cells()
+            ],
+        )
+
+    def cancel(self) -> None:
+        """Stop the daemon from scheduling this campaign's pending cells."""
+        self.store.mark_cancelled(self.campaign_id)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the campaign has been cancelled."""
+        return self.store.is_cancelled(self.campaign_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CampaignHandle({self.campaign_id!r}, store={self.store.root})"
+
+
+class Session:
+    """The front door: bind a store, then run or submit campaigns.
+
+    Parameters
+    ----------
+    store:
+        A :class:`RunStore`, a path, or ``None`` for the default store root
+        (:attr:`repro.config.RuntimeConfig.store_root`).
+    workers:
+        Worker-process override applied to synchronous :meth:`run` calls
+        (``None`` defers to each campaign's own ``workers`` field).
+    progress:
+        Optional callback receiving one line per scheduling event.
+    """
+
+    def __init__(
+        self,
+        store: Union[RunStore, str, None] = None,
+        workers: Optional[int] = None,
+        progress=None,
+    ) -> None:
+        if isinstance(store, RunStore):
+            self.store = store
+        else:
+            self.store = RunStore(store if store is not None else _DEFAULTS.store_root)
+        self.workers = workers
+        self.progress = progress
+        self._tempdir: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def ephemeral(cls, workers: Optional[int] = 1, progress=None) -> "Session":
+        """A session over a throwaway store (removed by ``close``).
+
+        Used by callers that want campaign semantics without persistence —
+        the experiment drivers express their grids this way.  Usable as a
+        context manager.
+        """
+        tempdir = tempfile.mkdtemp(prefix="repro-campaign-")
+        session = cls(store=tempdir, workers=workers, progress=progress)
+        session._tempdir = tempdir
+        return session
+
+    def close(self) -> None:
+        """Remove the backing store if this session owns a throwaway one."""
+        if self._tempdir is not None:
+            shutil.rmtree(self._tempdir, ignore_errors=True)
+            self._tempdir = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _executor(self) -> ShardExecutor:
+        return ShardExecutor(self.store, workers=self.workers, progress=self.progress)
+
+    @staticmethod
+    def _validate(campaign: Union[Campaign, RunSpec]) -> None:
+        """Fail fast on names a worker would only reject at run time."""
+        from repro.api.registry import BACKENDS
+        from repro.loops.targets import get_target
+
+        targets = (
+            campaign.targets if isinstance(campaign, Campaign) else (campaign.target,)
+        )
+        for target in targets:
+            get_target(target)  # raises KeyError on unknown targets
+        for backend in campaign.backends:
+            if backend not in BACKENDS:
+                raise CampaignError(
+                    f"unknown backend {backend!r}; available: {BACKENDS.names()}"
+                )
+
+    def submit(self, campaign: Union[Campaign, RunSpec]) -> CampaignHandle:
+        """Persist the campaign manifest and return immediately.
+
+        Nothing executes in this process: pending cells wait in the store
+        for a daemon (``repro-daemon``) or an explicit
+        :func:`repro.api.daemon.drain_once`.  Re-submitting an identical
+        campaign is idempotent; reusing an id with a different grid raises.
+        """
+        self._validate(campaign)
+        self.store.create_run(campaign, exist_ok=True)
+        return CampaignHandle(self.store, campaign.run_id)
+
+    def run(self, campaign: Union[Campaign, RunSpec]) -> CampaignResult:
+        """Execute the campaign synchronously and return its typed result.
+
+        Equivalent to ``submit`` followed by a full drain in-process: cells
+        that already have results are skipped, checkpointed cells resume,
+        so ``run`` doubles as "finish this campaign now".
+        """
+        self._validate(campaign)
+        self.store.create_run(campaign, exist_ok=True)
+        self._executor().execute(campaign)
+        return CampaignHandle(self.store, campaign.run_id).result()
+
+    def handle(self, campaign_id: str) -> CampaignHandle:
+        """A handle to a previously submitted campaign."""
+        handle = CampaignHandle(self.store, campaign_id)
+        handle.spec  # fail fast on unknown ids
+        return handle
+
+    def campaigns(self) -> List[str]:
+        """Identifiers of every run/campaign in the session's store."""
+        return self.store.list_runs()

@@ -27,18 +27,18 @@ __all__ = ["SamplingBackend", "CPUBackend", "GPUBackend", "make_backend"]
 
 
 def make_backend(kind: str, target, multi_score, config, **kwargs):
-    """Factory: build a backend by name.
+    """Factory: build a backend by its registry name.
 
     ``"cpu"`` is the paper's scalar reference, ``"cpu-batched"`` the same
     backend routed through the population-chunked batched scoring kernels,
     and ``"gpu"`` (aliases ``"cpu-gpu"``, ``"simt"``) the simulated SIMT
-    backend.
+    backend.  Additional backends can be contributed through
+    :func:`repro.api.registry.register_backend` or a ``repro.backends``
+    setuptools entry point.
     """
-    kind = kind.lower()
-    if kind == "cpu":
-        return CPUBackend(target, multi_score, config, **kwargs)
-    if kind == "cpu-batched":
-        return CPUBackend(target, multi_score, config, scoring_mode="batched", **kwargs)
-    if kind in ("gpu", "cpu-gpu", "simt"):
-        return GPUBackend(target, multi_score, config, **kwargs)
-    raise ValueError(f"unknown backend kind: {kind!r}")
+    from repro.api.registry import BACKENDS, RegistryError
+
+    try:
+        return BACKENDS.create(kind, target, multi_score, config, **kwargs)
+    except RegistryError as exc:
+        raise ValueError(str(exc)) from None

@@ -1,6 +1,26 @@
-"""Command-line interface.
+"""Command-line interface: thin wrappers over :mod:`repro.api`.
 
-Three entry points are exposed (see ``setup.py``):
+Five entry points are exposed (see ``setup.py``):
+
+``repro-campaign``
+    The front door.  Declare a multi-target grid (targets x configs x
+    seeds x backends) in a TOML/JSON file, then submit it asynchronously
+    (returns immediately; a daemon drains it), run it synchronously, watch
+    it, fetch its typed results, or cancel it::
+
+        repro-campaign submit examples/table_iv.toml
+        repro-campaign status table-iv
+        repro-campaign result table-iv
+        repro-campaign run examples/table_iv.toml   # synchronous
+        repro-campaign cancel table-iv
+
+``repro-daemon``
+    Drain pending campaign cells from the run store through a worker pool,
+    once or in a poll loop.  Killing the daemon loses no work — cells are
+    checkpointed and a later drain resumes them::
+
+        repro-daemon --drain-once
+        repro-daemon --workers 4 --interval 5
 
 ``repro-experiments``
     Run one, several or all experiment drivers at a chosen scale and print
@@ -17,9 +37,10 @@ Three entry points are exposed (see ``setup.py``):
             --backend gpu --pdb best.pdb
 
 ``repro-batch``
-    Orchestrate a sharded multi-trajectory run through the persistent run
-    store: submit a batch, watch its status, resume it after an
-    interruption, and merge the per-shard decoy sets, e.g.::
+    Single-target predecessor of ``repro-campaign`` (deprecated for new
+    workflows, kept for existing stores and scripts): submit a sharded run,
+    watch its status, resume it after an interruption, and merge the
+    per-shard decoy sets, e.g.::
 
         repro-batch submit 1cex"(40:51)" --trajectories 8 --workers 4 \\
             --checkpoint-every 5
@@ -43,7 +64,13 @@ from repro.moscem.sampler import MOSCEMSampler
 from repro.protein.pdb import loop_to_pdb
 from repro.utils.logging import configure_logging
 
-__all__ = ["experiments_main", "sample_main", "batch_main"]
+__all__ = [
+    "experiments_main",
+    "sample_main",
+    "batch_main",
+    "campaign_main",
+    "daemon_main",
+]
 
 
 def _experiments_parser() -> argparse.ArgumentParser:
@@ -317,6 +344,18 @@ def _batch_submit(store, args) -> int:
     return 0
 
 
+def _load_run_spec(store, run_id):
+    """Load a v1 RunSpec, or None (with a redirect message) for campaigns."""
+    from repro.runtime import Campaign
+
+    spec = store.load_manifest(run_id).spec
+    if isinstance(spec, Campaign):
+        print(f"{run_id} is a campaign; use: repro-campaign --store "
+              f"{store.root} <command> {run_id}")
+        return None
+    return spec
+
+
 def _batch_status(store, args) -> int:
     if args.run_id is None:
         runs = store.list_runs()
@@ -325,8 +364,9 @@ def _batch_status(store, args) -> int:
         for run_id in runs:
             print(run_id)
         return 0
-    manifest = store.load_manifest(args.run_id)
-    spec = manifest.spec
+    spec = _load_run_spec(store, args.run_id)
+    if spec is None:
+        return 1
     print(f"run {spec.run_id}: {spec.n_trajectories} shard(s) of "
           f"{spec.target} ({spec.config.population_size} x "
           f"{spec.config.iterations}, checkpoint every "
@@ -363,8 +403,9 @@ def _batch_status(store, args) -> int:
 def _batch_resume(store, args) -> int:
     from repro.runtime import ShardExecutor
 
-    manifest = store.load_manifest(args.run_id)
-    spec = manifest.spec
+    spec = _load_run_spec(store, args.run_id)
+    if spec is None:
+        return 1
     executor = ShardExecutor(store, workers=args.workers, progress=print)
     summaries = executor.execute(spec)
     merged = None if args.no_merge else executor.merge(spec.run_id)
@@ -375,6 +416,8 @@ def _batch_resume(store, args) -> int:
 def _batch_merge(store, args) -> int:
     from repro.runtime import ShardExecutor
 
+    if _load_run_spec(store, args.run_id) is None:
+        return 1
     executor = ShardExecutor(store, progress=print)
     merged = executor.merge(args.run_id, distinct_only=args.distinct)
     print(f"merged decoys       : {len(merged)}")
@@ -398,6 +441,176 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "merge":
         return _batch_merge(store, args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ---------------------------------------------------------------------------
+# repro-campaign / repro-daemon: the declarative multi-target API surface
+# ---------------------------------------------------------------------------
+
+
+def _campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Declare, submit, run, inspect and cancel multi-target "
+        "campaigns (targets x configs x seeds x backends).",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_RUNTIME.store_root,
+        help=f"run-store directory (default: {_DEFAULT_RUNTIME.store_root})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit",
+        help="persist a campaign manifest and return immediately "
+        "(a repro-daemon drains it)",
+    )
+    submit.add_argument("file", help="campaign document (.toml or .json)")
+
+    run = sub.add_parser("run", help="execute a campaign synchronously")
+    run.add_argument("file", help="campaign document (.toml or .json)")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: the campaign's)",
+    )
+
+    status = sub.add_parser("status", help="show per-cell progress")
+    status.add_argument("campaign_id", nargs="?", default=None,
+                        help="campaign id (omit to list the store)")
+
+    result = sub.add_parser("result", help="print the typed campaign result")
+    result.add_argument("campaign_id", help="campaign id")
+    result.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds to wait for completion (default: fail if incomplete)",
+    )
+
+    cancel = sub.add_parser(
+        "cancel", help="stop the daemon from scheduling a campaign's pending cells"
+    )
+    cancel.add_argument("campaign_id", help="campaign id")
+    return parser
+
+
+def _print_campaign_result(result) -> None:
+    print(result.to_table().render())
+    ledgers = result.merged_ledgers()
+    print(f"total sampler time  : {result.wall_seconds():.2f} s")
+    print(f"total kernel time   : {ledgers['kernel'].total():.2f} s")
+
+
+def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-campaign``."""
+    configure_logging()
+    args = _campaign_parser().parse_args(argv)
+    from repro.api import CampaignIncomplete, Session, load_campaign
+
+    session = Session(args.store, progress=print)
+    if args.command == "submit":
+        handle = session.submit(load_campaign(args.file))
+        status = handle.status()
+        print(f"submitted {handle.campaign_id}: {status.n_cells} cell(s) "
+              f"({status.n_done} already complete)")
+        print("drain with: repro-daemon --store "
+              f"{args.store} --drain-once")
+        return 0
+    if args.command == "run":
+        session.workers = args.workers
+        result = session.run(load_campaign(args.file))
+        _print_campaign_result(result)
+        return 0
+    if args.command == "status":
+        if args.campaign_id is None:
+            runs = session.campaigns()
+            if not runs:
+                print(f"no campaigns in store {args.store}")
+            for run_id in runs:
+                print(run_id)
+            return 0
+        print(session.handle(args.campaign_id).status().render())
+        return 0
+    if args.command == "result":
+        try:
+            result = session.handle(args.campaign_id).result(timeout=args.timeout)
+        except CampaignIncomplete as exc:
+            print(f"not ready: {exc}")
+            return 1
+        _print_campaign_result(result)
+        return 0
+    if args.command == "cancel":
+        session.handle(args.campaign_id).cancel()
+        print(f"cancelled {args.campaign_id}: pending cells will not be "
+              "scheduled (running cells finish their trajectory)")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _daemon_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-daemon",
+        description="Drain pending campaign cells from the run store "
+        "through a worker pool.",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_RUNTIME.store_root,
+        help=f"run-store directory (default: {_DEFAULT_RUNTIME.store_root})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=_DEFAULT_RUNTIME.workers,
+        help=f"worker processes (default: {_DEFAULT_RUNTIME.workers})",
+    )
+    parser.add_argument(
+        "--drain-once", action="store_true",
+        help="run one drain pass and exit (default: poll forever)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=_DEFAULT_RUNTIME.poll_seconds,
+        help="seconds between drain passes "
+        f"(default: {_DEFAULT_RUNTIME.poll_seconds})",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="stop after this many drain passes (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="park a cell after this many failed attempts (default: "
+        "3; 0 retries without bound)",
+    )
+    return parser
+
+
+def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-daemon``."""
+    configure_logging()
+    args = _daemon_parser().parse_args(argv)
+    from repro.api import DEFAULT_MAX_ATTEMPTS, drain_once, serve
+    from repro.runtime import RunStore
+
+    if args.max_attempts is None:
+        max_attempts = DEFAULT_MAX_ATTEMPTS
+    else:
+        max_attempts = None if args.max_attempts <= 0 else args.max_attempts
+    store = RunStore(args.store)
+    if args.drain_once:
+        report = drain_once(
+            store, workers=args.workers, progress=print, max_attempts=max_attempts
+        )
+    else:
+        report = serve(
+            store,
+            workers=args.workers,
+            poll_seconds=args.interval,
+            max_cycles=args.max_cycles,
+            progress=print,
+            max_attempts=max_attempts,
+        )
+    print(f"drained {report.executed} cell(s), {report.failed} failure(s), "
+          f"{report.skipped_cancelled} cancelled-pending skipped, "
+          f"{report.skipped_exhausted} parked after repeated failures")
+    return 1 if report.failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

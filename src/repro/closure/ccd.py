@@ -27,6 +27,7 @@ from repro.geometry.rmsd import coordinate_rmsd, coordinate_rmsd_batch
 from repro.geometry.rotation import rotate_about_axis, rotate_points_about_axes_batch
 from repro.geometry.vectors import normalize
 from repro.loops.loop import LoopTarget
+from repro.scoring.pairwise import rotation_alignment_terms
 
 __all__ = ["CCDResult", "ccd_close", "ccd_close_batch"]
 
@@ -241,20 +242,12 @@ def ccd_close_batch(
             raw_axes = sub[:, c_idx, :] - origins
             axes = normalize(raw_axes)
 
-            ends = sub[:, -3:, :]  # (A, 3, 3)
-            r = ends - origins[:, None, :]
-            f = anchors[None, :, :] - origins[:, None, :]
-            # Expanded perpendicular products (see _optimal_angle): no
-            # r_perp/f_perp temporaries are materialised, and the triple
-            # product axis . (r x f) is summed componentwise to avoid the
-            # dispatch overhead of np.cross on small populations.
-            r_ax = np.einsum("pki,pi->pk", r, axes)
-            f_ax = np.einsum("pki,pi->pk", f, axes)
-            a = np.einsum("pki,pki->p", r, f) - np.einsum("pk,pk->p", r_ax, f_ax)
-            cx = (r[:, :, 1] * f[:, :, 2] - r[:, :, 2] * f[:, :, 1]).sum(axis=1)
-            cy = (r[:, :, 2] * f[:, :, 0] - r[:, :, 0] * f[:, :, 2]).sum(axis=1)
-            cz = (r[:, :, 0] * f[:, :, 1] - r[:, :, 1] * f[:, :, 0]).sum(axis=1)
-            b = axes[:, 0] * cx + axes[:, 1] * cy + axes[:, 2] * cz
+            # The per-pivot math is the shared pairwise engine's
+            # gather-and-reduce primitive (the same expanded perpendicular
+            # products _optimal_angle evaluates per member).
+            a, b = rotation_alignment_terms(
+                sub[:, -3:, :], anchors, origins, axes
+            )
             angles = np.arctan2(b, a)
             # Members whose mutation point is after this pivot keep it
             # fixed, as do members whose gradient terms are pure noise and

@@ -54,8 +54,13 @@ class SamplingConfig:
     kernel_block_size:
         Population members each batched scoring kernel processes per chunk,
         so the pair temporaries stay cache-resident at paper-scale
-        populations.  ``0`` (the default) selects the engine default of
-        :data:`repro.scoring.pairwise.DEFAULT_BLOCK_SIZE` members.
+        populations.  The default of 128 members (the paper's threads per
+        block) was confirmed optimal by sweeping the paper-scale population
+        of 15,360 members (``benchmarks/test_block_size_sweep.py``): timings
+        are flat through 128–192, degrade from ~512 and are 1.5–1.8x slower
+        at >= 2,048 once the pair temporaries fall out of cache.  ``0``
+        selects the engine default
+        (:data:`repro.scoring.pairwise.DEFAULT_BLOCK_SIZE`).
     seed:
         Seed of the trajectory master RNG.
     """
@@ -73,7 +78,7 @@ class SamplingConfig:
     ccd_tolerance: float = 0.25
     require_closure: bool = True
     closure_tolerance_factor: float = 2.0
-    kernel_block_size: int = 0
+    kernel_block_size: int = 128
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -160,12 +165,16 @@ class RuntimeConfig:
     backends:
         Backend kinds assigned to shards round-robin (each worker builds
         its own backend through :func:`repro.backends.make_backend`).
+    poll_seconds:
+        Sleep between drain passes of the campaign daemon
+        (:func:`repro.api.daemon.serve`).
     """
 
     workers: int = 2
     checkpoint_every: int = 5
     store_root: str = ".repro-runs"
     backends: Tuple[str, ...] = ("gpu",)
+    poll_seconds: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -174,6 +183,8 @@ class RuntimeConfig:
             raise ValueError("checkpoint_every must be >= 0 (0 disables)")
         if not self.backends:
             raise ValueError("backends must name at least one backend kind")
+        if self.poll_seconds <= 0.0:
+            raise ValueError("poll_seconds must be positive")
         object.__setattr__(self, "backends", tuple(self.backends))
 
 

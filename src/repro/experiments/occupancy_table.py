@@ -56,6 +56,8 @@ class OccupancyTableExperiment(Experiment):
     }
 
     def execute(self, scale: Scale) -> ExperimentResult:
+        from repro.api import expand_grid
+
         table = TextTable(
             headers=[
                 "kernel",
@@ -70,8 +72,11 @@ class OccupancyTableExperiment(Experiment):
         occupancies: Dict[str, float] = {}
         registers: Dict[str, int] = {}
         matches = True
-        for spec in PAPER_KERNELS.values():
-            result = occupancy(spec, GTX280)
+        # The static grid expressed the same way the sampling experiments
+        # express theirs: one declared cell per (kernel, device) pair.
+        for cell in expand_grid(kernel=PAPER_KERNELS.values(), device=[GTX280]):
+            spec = cell["kernel"]
+            result = occupancy(spec, cell["device"])
             occupancies[spec.name] = result.occupancy
             registers[spec.name] = spec.registers_per_thread
             paper_registers, paper_occupancy = PAPER_TABLE3[spec.name]

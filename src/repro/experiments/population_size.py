@@ -25,8 +25,6 @@ from repro.experiments.base import (
     Scale,
     register_experiment,
 )
-from repro.loops.targets import get_target
-from repro.moscem.sampler import MOSCEMSampler
 
 __all__ = ["PopulationSizeExperiment", "PopulationSizeSetting"]
 
@@ -83,29 +81,51 @@ class PopulationSizeExperiment(Experiment):
             raise KeyError(f"{self.experiment_id} has no scale {scale!r}")
         return self.scale_settings[scale]
 
-    def _run_setting(self, setting: PopulationSizeSetting) -> TrajectoryStats:
-        """Run the trajectories of one population size and aggregate them."""
-        target = get_target(self.target_name)
-        best_rmsds: List[float] = []
-        distinct_counts: List[int] = []
-        for trajectory in range(setting.trajectories):
-            config = SamplingConfig(
+    def _grid_campaign(self, scale: Scale, settings: Sequence[PopulationSizeSetting]):
+        """The sweep as a declarative campaign: one config per population
+        setting, with the independent trajectories as the seeds axis."""
+        from repro.api import campaign
+
+        configs = {
+            f"pop{setting.population_size}": SamplingConfig(
                 population_size=setting.population_size,
                 n_complexes=setting.n_complexes,
                 iterations=setting.iterations,
-                seed=self.seed + 1000 * trajectory,
             )
-            sampler = MOSCEMSampler(target, config=config, backend_kind="gpu")
-            run = sampler.run()
-            decoys = run.distinct_non_dominated()
-            distinct_counts.append(len(decoys))
-            best_rmsds.append(
-                decoys.best_rmsd() if len(decoys) else run.best_non_dominated_rmsd
-            )
+            for setting in settings
+        }
+        trajectories = {setting.trajectories for setting in settings}
+        assert len(trajectories) == 1, "settings of one scale share a trajectory count"
+        return campaign(
+            f"fig3-{scale}",
+            targets=self.target_name,
+            configs=configs,
+            seeds=trajectories.pop(),
+            backends=("gpu",),
+            base_seed=self.seed,
+            checkpoint_every=0,
+            workers=1,
+        )
+
+    def _setting_stats(
+        self, campaign_result, setting: PopulationSizeSetting
+    ) -> TrajectoryStats:
+        """Aggregate the trajectories of one population setting."""
+        cells = campaign_result.select(config_name=f"pop{setting.population_size}")
+        best_rmsds = [
+            cell.decoys.best_rmsd() if cell.n_decoys else cell.best_front_rmsd
+            for cell in cells
+        ]
+        distinct_counts = [cell.n_decoys for cell in cells]
         return summarize_rmsd_trajectories(best_rmsds, distinct_counts)
 
     def execute(self, scale: Scale) -> ExperimentResult:
+        from repro.api import Session
+
         settings = self.settings_for_scale(scale)
+        with Session.ephemeral() as session:
+            campaign_result = session.run(self._grid_campaign(scale, settings))
+
         table = TextTable(
             headers=[
                 "population",
@@ -121,7 +141,7 @@ class PopulationSizeExperiment(Experiment):
 
         sweep: List[Tuple[int, TrajectoryStats]] = []
         for setting in settings:
-            stats = self._run_setting(setting)
+            stats = self._setting_stats(campaign_result, setting)
             sweep.append((setting.population_size, stats))
             table.add_row(
                 setting.population_size,

@@ -26,8 +26,6 @@ from repro.experiments.base import (
     Scale,
     register_experiment,
 )
-from repro.loops.targets import get_target
-from repro.moscem.sampler import MOSCEMSampler
 
 __all__ = ["SpeedupScalingExperiment"]
 
@@ -64,23 +62,41 @@ class SpeedupScalingExperiment(Experiment):
             raise KeyError(f"{self.experiment_id} has no scale {scale!r}")
         return self.scale_populations[scale]
 
-    def _time_backend(
-        self, backend_kind: str, population_size: int, iterations: int
-    ) -> float:
-        """Wall-clock seconds of one run on one backend."""
-        target = get_target(self.target_name)
-        config = SamplingConfig(
-            population_size=population_size,
-            n_complexes=max(2, min(8, population_size // 4)),
-            iterations=iterations,
-            seed=self.seed,
+    def _grid_campaign(self, scale: Scale, populations: Sequence[int], iterations: int):
+        """The sweep as a declarative campaign: one config per population,
+        crossed with both backends."""
+        from repro.api import campaign
+
+        configs = {
+            f"pop{population}": SamplingConfig(
+                population_size=population,
+                n_complexes=max(2, min(8, population // 4)),
+                iterations=iterations,
+                seed=self.seed,
+            )
+            for population in populations
+        }
+        return campaign(
+            f"fig4-{scale}",
+            targets=self.target_name,
+            configs=configs,
+            seeds=(self.seed,),
+            backends=("cpu", "gpu"),
+            base_seed=self.seed,
+            checkpoint_every=0,
+            workers=1,
         )
-        sampler = MOSCEMSampler(target, config=config, backend_kind=backend_kind)
-        return sampler.run().wall_seconds
 
     def execute(self, scale: Scale) -> ExperimentResult:
+        from repro.api import Session
+
         populations = self.populations_for_scale(scale)
         iterations = self.scale_iterations[scale]
+
+        with Session.ephemeral() as session:
+            campaign_result = session.run(
+                self._grid_campaign(scale, populations, iterations)
+            )
 
         records: List[SpeedupRecord] = []
         table = TextTable(
@@ -95,19 +111,19 @@ class SpeedupScalingExperiment(Experiment):
             float_digits=2,
         )
         for population in populations:
-            cpu_seconds = self._time_backend("cpu", population, iterations)
-            gpu_seconds = self._time_backend("gpu", population, iterations)
+            cells = campaign_result.select(config_name=f"pop{population}")
+            seconds = {cell.backend: cell.wall_seconds for cell in cells}
             record = compute_speedup(
-                cpu_seconds,
-                gpu_seconds,
+                seconds["cpu"],
+                seconds["gpu"],
                 label=self.target_name,
                 population_size=population,
             )
             records.append(record)
             table.add_row(
                 population,
-                format_seconds(cpu_seconds),
-                format_seconds(gpu_seconds),
+                format_seconds(record.cpu_seconds),
+                format_seconds(record.gpu_seconds),
                 record.speedup,
             )
 

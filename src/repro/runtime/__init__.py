@@ -33,9 +33,18 @@ from repro.runtime.executor import (
     ShardExecutor,
     ShardFailure,
     parallel_map,
+    run_cell,
     run_shard,
 )
-from repro.runtime.spec import RunManifest, RunSpec, ShardSpec
+from repro.runtime.spec import (
+    Campaign,
+    CampaignManifest,
+    CellSpec,
+    RunManifest,
+    RunSpec,
+    ShardSpec,
+    campaign_cell_seed,
+)
 from repro.runtime.store import RunStore, RunStoreError
 
 __all__ = [
@@ -46,10 +55,15 @@ __all__ = [
     "ShardExecutor",
     "ShardFailure",
     "parallel_map",
+    "run_cell",
     "run_shard",
+    "Campaign",
+    "CampaignManifest",
+    "CellSpec",
     "RunManifest",
     "RunSpec",
     "ShardSpec",
+    "campaign_cell_seed",
     "RunStore",
     "RunStoreError",
 ]

@@ -1,27 +1,32 @@
 """Process-pool shard executor.
 
-The executor fans the shards of a :class:`~repro.runtime.spec.RunSpec` out
-across worker processes.  Each worker is self-sufficient: it rebuilds the
-target from its registry name, constructs its own backend through
-:func:`repro.backends.make_backend`, and talks to the run store only
-through the file system — the only data crossing the process boundary are
-small picklable dicts (shard payloads in, shard summaries out), so the
-executor scales to decoy sets far larger than a pipe buffer.
+The executor fans the cells of a :class:`~repro.runtime.spec.RunSpec` or
+:class:`~repro.runtime.spec.Campaign` out across worker processes.  Each
+worker is self-sufficient: it rebuilds the target from its registry name,
+constructs its own backend through :func:`repro.backends.make_backend`, and
+talks to the run store only through the file system — the only data
+crossing the process boundary are small picklable dicts (cell payloads in,
+cell summaries out), so the executor scales to decoy sets far larger than
+a pipe buffer.  Workers keep a process-level cache of assembled scoring
+stacks keyed by ``(target, block size)`` (targets and knowledge bases are
+already cached underneath), so a worker that executes many cells — or
+drains many campaigns in one daemon batch — pays the table-building cost
+once per target rather than once per trajectory.
 
-Execution of one shard:
+Execution of one cell:
 
-1. if the shard already has a result on disk, return its summary (idempotent
+1. if the cell already has a result on disk, return its summary (idempotent
    re-submits and resumes);
 2. if a checkpoint exists, restore the :class:`SamplerState` from it —
    resumed trajectories are bit-identical to uninterrupted ones;
 3. run the sampler, checkpointing every ``checkpoint_every`` iterations and
-   updating the shard's status document (the live progress ``repro-batch
-   status`` reads);
+   updating the cell's status document (the live progress ``repro-batch
+   status`` / ``repro-campaign status`` read);
 4. harvest the structurally distinct non-dominated decoys and write the
-   shard result.
+   cell result.
 
 :func:`parallel_map` is the shared fan-out primitive; the experiment runner
-reuses it to parallelise multi-target tables.
+and the campaign daemon reuse it.
 """
 
 from __future__ import annotations
@@ -34,11 +39,17 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
 from repro.moscem.decoys import DecoySet
 from repro.runtime.checkpoint import has_checkpoint, load_checkpoint, save_checkpoint
-from repro.runtime.spec import RunSpec, ShardSpec, shard_name
+from repro.runtime.spec import Campaign, CellSpec, RunSpec, ShardSpec, shard_name
 from repro.runtime.store import RunStore
 from repro.utils.logging import get_logger
 
-__all__ = ["ShardExecutor", "ShardFailure", "parallel_map", "run_shard"]
+__all__ = [
+    "ShardExecutor",
+    "ShardFailure",
+    "parallel_map",
+    "run_cell",
+    "run_shard",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -95,35 +106,58 @@ def parallel_map(
 # ---------------------------------------------------------------------------
 
 
-def _build_sampler(spec: RunSpec, shard: ShardSpec):
-    """Construct the target, backend and sampler for one shard."""
+#: Per-worker cache of assembled scoring stacks keyed by (target, block size).
+#: Scoring functions are bound to a target and hold only precomputed lookup
+#: tables, so sharing one stack across the cells a worker executes — within
+#: a campaign and across campaigns drained in one batch — is safe and skips
+#: the repeated knowledge-table assembly.
+_MULTI_SCORE_CACHE: Dict[Any, Any] = {}
+
+
+def _cached_multi_score(target_name: str, block_size: int):
+    from repro.loops.targets import get_target
+    from repro.scoring import default_multi_score
+
+    key = (target_name, int(block_size))
+    if key not in _MULTI_SCORE_CACHE:
+        _MULTI_SCORE_CACHE[key] = default_multi_score(
+            get_target(target_name), block_size=block_size
+        )
+    return _MULTI_SCORE_CACHE[key]
+
+
+def _build_sampler(cell: CellSpec):
+    """Construct the target, backend and sampler for one cell.
+
+    The target and scoring stack come from the per-worker caches; the
+    backend is always fresh because it accumulates per-run kernel ledgers.
+    """
     from repro.backends import make_backend
     from repro.loops.targets import get_target
     from repro.moscem.sampler import MOSCEMSampler
-    from repro.scoring import default_multi_score
 
-    target = get_target(spec.target)
-    config = spec.config
-    multi_score = default_multi_score(target, block_size=config.kernel_block_size)
-    backend = make_backend(shard.backend, target, multi_score, config)
+    target = get_target(cell.target)
+    config = cell.config
+    multi_score = _cached_multi_score(cell.target, config.kernel_block_size)
+    backend = make_backend(cell.backend, target, multi_score, config)
     return MOSCEMSampler(
         target, config=config, multi_score=multi_score, backend=backend
     )
 
 
-def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
-    """Execute (or resume) one shard to completion; returns its summary.
+def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
+    """Execute (or resume) one cell to completion; returns its summary.
 
     Runs inside a worker process, but is equally callable inline — the
     executor with ``workers=1`` and the tests use the same code path.
     """
-    shard = spec.shard(index)
-    shard_dir = store.shard_dir(spec.run_id, index)
+    index = cell.index
+    shard_dir = store.shard_dir(cell.run_id, index)
 
-    if store.has_shard_result(spec.run_id, index):
-        return store.load_shard_summary(spec.run_id, index)
+    if store.has_shard_result(cell.run_id, index):
+        return store.load_shard_summary(cell.run_id, index)
 
-    sampler = _build_sampler(spec, shard)
+    sampler = _build_sampler(cell)
     state = None
     resumed_from = None
     if has_checkpoint(shard_dir):
@@ -131,52 +165,58 @@ def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
         resumed_from = state.iteration
 
     store.write_shard_status(
-        spec.run_id,
+        cell.run_id,
         index,
         state="running",
         pid=os.getpid(),
         iteration=0 if state is None else state.iteration,
-        iterations=spec.config.iterations,
-        backend=shard.backend,
-        seed=shard.seed,
+        iterations=cell.config.iterations,
+        target=cell.target,
+        backend=cell.backend,
+        seed=cell.seed,
         resumed_from=resumed_from,
     )
 
     def _on_iteration(live_state) -> None:
         if (
-            spec.checkpoint_every > 0
-            and live_state.iteration % spec.checkpoint_every == 0
-            and live_state.iteration < spec.config.iterations
+            cell.checkpoint_every > 0
+            and live_state.iteration % cell.checkpoint_every == 0
+            and live_state.iteration < cell.config.iterations
         ):
             save_checkpoint(
                 shard_dir,
                 live_state,
-                extra={"run_id": spec.run_id, "shard": index, "target": spec.target},
+                extra={"run_id": cell.run_id, "shard": index, "target": cell.target},
             )
             store.write_shard_status(
-                spec.run_id,
+                cell.run_id,
                 index,
                 state="running",
                 pid=os.getpid(),
                 iteration=live_state.iteration,
-                iterations=spec.config.iterations,
-                backend=shard.backend,
-                seed=shard.seed,
+                iterations=cell.config.iterations,
+                target=cell.target,
+                backend=cell.backend,
+                seed=cell.seed,
                 resumed_from=resumed_from,
                 checkpoint_iteration=live_state.iteration,
             )
 
-    result = sampler.run(seed=shard.seed, state=state, on_iteration=_on_iteration)
+    result = sampler.run(seed=cell.seed, state=state, on_iteration=_on_iteration)
     decoys = result.distinct_non_dominated(trajectory=index)
 
     summary = {
-        "run_id": spec.run_id,
+        "run_id": cell.run_id,
         "shard": index,
+        "target": cell.target,
+        "config_name": cell.config_name,
+        "seed_index": cell.seed_index,
         "backend": result.backend_name,
-        "seed": shard.seed,
-        "iterations": spec.config.iterations,
+        "backend_kind": cell.backend,
+        "seed": cell.seed,
+        "iterations": cell.config.iterations,
         "resumed_from": resumed_from,
-        # For resumed shards this covers only the final segment (the time
+        # For resumed cells this covers only the final segment (the time
         # before the interruption died with the interrupted process).
         "wall_seconds": result.wall_seconds,
         "best_rmsd": result.best_rmsd,
@@ -187,7 +227,7 @@ def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
         ),
     }
     store.save_shard_result(
-        spec.run_id,
+        cell.run_id,
         index,
         decoys,
         summary,
@@ -195,14 +235,15 @@ def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
         kernel_ledger=result.kernel_ledger,
     )
     store.write_shard_status(
-        spec.run_id,
+        cell.run_id,
         index,
         state="done",
         pid=os.getpid(),
-        iteration=spec.config.iterations,
-        iterations=spec.config.iterations,
-        backend=shard.backend,
-        seed=shard.seed,
+        iteration=cell.config.iterations,
+        iterations=cell.config.iterations,
+        target=cell.target,
+        backend=cell.backend,
+        seed=cell.seed,
         resumed_from=resumed_from,
         n_decoys=len(decoys),
     )
@@ -210,28 +251,43 @@ def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
     return summary
 
 
-def _shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Picklable worker entry point: run one shard, never raise.
+def run_shard(store: RunStore, spec: RunSpec, index: int) -> Dict[str, Any]:
+    """Execute (or resume) one shard of a single-target run (legacy alias)."""
+    return run_cell(store, spec.cell(index))
+
+
+def _cell_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable worker entry point: run one cell, never raise.
 
     Exceptions are folded into an ``{"error": ...}`` summary (and the
-    shard's status document) so one bad shard cannot poison the pool.
+    cell's status document) so one bad cell cannot poison the pool.
     """
     store = RunStore(payload["store_root"])
-    spec = RunSpec.from_dict(payload["spec"])
-    index = int(payload["index"])
+    cell = CellSpec.from_dict(payload["cell"])
     try:
-        return run_shard(store, spec, index)
+        return run_cell(store, cell)
     except Exception as exc:  # noqa: BLE001 - reported via the summary
         detail = traceback.format_exc(limit=20)
         try:
+            # The attempt counter is what lets the daemon park cells that
+            # fail deterministically instead of retrying them forever.
+            attempts = int(
+                store.read_shard_status(cell.run_id, cell.index).get("attempts", 0)
+            )
             store.write_shard_status(
-                spec.run_id, index, state="failed", error=str(exc), detail=detail
+                cell.run_id,
+                cell.index,
+                state="failed",
+                error=str(exc),
+                detail=detail,
+                attempts=attempts + 1,
             )
         except OSError:
             pass
         return {
-            "run_id": spec.run_id,
-            "shard": index,
+            "run_id": cell.run_id,
+            "shard": cell.index,
+            "target": cell.target,
             "error": f"{type(exc).__name__}: {exc}",
             "detail": detail,
         }
@@ -243,7 +299,7 @@ def _shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 class ShardExecutor:
-    """Fans the shards of a run out across worker processes."""
+    """Fans the cells of a run or campaign out across worker processes."""
 
     def __init__(
         self,
@@ -262,19 +318,18 @@ class ShardExecutor:
         else:
             self._logger.info("%s", line)
 
-    def execute(self, spec: RunSpec, indices: Optional[Sequence[int]] = None) -> List[Dict[str, Any]]:
-        """Run the (remaining) shards of ``spec``; returns shard summaries.
+    def execute(self, spec, indices: Optional[Sequence[int]] = None) -> List[Dict[str, Any]]:
+        """Run the (remaining) cells of ``spec``; returns cell summaries.
 
-        Shards with results on disk are skipped (their stored summaries are
-        returned), which is what makes ``execute`` double as *resume*: a
-        killed run re-executes only its unfinished shards, each continuing
-        from its latest checkpoint.  Raises :class:`ShardFailure` if any
-        shard errors.
+        ``spec`` is a :class:`RunSpec` or a :class:`Campaign`.  Cells with
+        results on disk are skipped (their stored summaries are returned),
+        which is what makes ``execute`` double as *resume*: a killed run
+        re-executes only its unfinished cells, each continuing from its
+        latest checkpoint.  Raises :class:`ShardFailure` if any cell errors.
         """
         if indices is None:
             indices = range(spec.n_trajectories)
         workers = self.workers if self.workers is not None else spec.workers
-        spec_dict = spec.to_dict()
         pending = []
         done = []
         for index in indices:
@@ -285,8 +340,7 @@ class ShardExecutor:
                 pending.append(
                     {
                         "store_root": str(self.store.root),
-                        "spec": spec_dict,
-                        "index": int(index),
+                        "cell": spec.cell(int(index)).to_dict(),
                     }
                 )
         self._emit(
@@ -307,7 +361,7 @@ class ShardExecutor:
                     f"{summary.get('n_decoys', 0)} decoys{suffix}"
                 )
 
-        fresh = parallel_map(_shard_task, pending, workers, on_result=_report)
+        fresh = parallel_map(_cell_task, pending, workers, on_result=_report)
         failures = [s for s in fresh if "error" in s]
         if failures:
             raise ShardFailure(
@@ -326,9 +380,18 @@ class ShardExecutor:
 
         The default is the plain union of the per-shard sets (shard order);
         ``distinct_only`` re-applies the cross-shard distinctness rule.
+        Only meaningful for single-target batches — decoys of different
+        targets live in different torsion spaces, so multi-target campaigns
+        aggregate per target through
+        :meth:`repro.api.results.CampaignResult` instead.
         """
         manifest = self.store.load_manifest(run_id)
         spec = manifest.spec
+        if isinstance(spec, Campaign) and len(spec.targets) > 1:
+            raise ShardFailure(
+                f"run {run_id!r} is a multi-target campaign; merge per target "
+                "via the repro.api campaign results instead"
+            )
         shard_sets = []
         shard_ledgers = []
         for index in range(spec.n_trajectories):

@@ -1,17 +1,23 @@
-"""Run specifications and manifests of the sharded runtime.
+"""Run and campaign specifications and manifests of the sharded runtime.
 
 A *run* is a batch of independent MOSCEM trajectories (shards) over one
-benchmark target: ``target x config x seed x backend``.  :class:`RunSpec`
-describes the batch declaratively; :class:`ShardSpec` is the materialised
-description of one shard; :class:`RunManifest` is the JSON document the run
-store persists so a run can be inspected, resumed and merged by later
-processes that share none of the submitting process's memory.
+benchmark target; a *campaign* generalises it to the full grid the paper's
+headline tables are built from: ``targets x configs x seeds x backends``.
+:class:`RunSpec` describes a single-target batch declaratively;
+:class:`Campaign` describes a multi-target grid; :class:`CellSpec` is the
+materialised description of one schedulable trajectory of either (the
+executor only ever sees cells); :class:`RunManifest` /
+:class:`CampaignManifest` are the JSON documents the run store persists so
+a batch can be inspected, resumed and merged by later processes that share
+none of the submitting process's memory.
 
 Per-shard seeds are derived deterministically from the base seed through
 :meth:`repro.utils.rng.RandomStreams.child`, the same derivation the
-sampler uses for its own named streams — shards are therefore
-statistically independent, reproducible from the manifest alone, and
-independent of which worker process executes them.
+sampler uses for its own named streams; campaign cells derive theirs from
+the base seed and the cell's *workload coordinates* (target, config name,
+seed label — deliberately not the backend) via :func:`campaign_cell_seed`,
+so a cell's stream depends only on what it computes, never on where it
+sits in the expanded grid or which implementation executes it.
 """
 
 from __future__ import annotations
@@ -20,19 +26,29 @@ import dataclasses
 import re
 from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
 from repro.config import RuntimeConfig, SamplingConfig
-from repro.utils.rng import RandomStreams
+from repro.utils.rng import RandomStreams, stable_name_key
 
 __all__ = [
     "RunSpec",
     "ShardSpec",
+    "CellSpec",
+    "Campaign",
     "RunManifest",
+    "CampaignManifest",
     "MANIFEST_FORMAT_VERSION",
+    "CAMPAIGN_FORMAT_VERSION",
+    "campaign_cell_seed",
     "shard_name",
 ]
 
-#: Version stamp of the manifest JSON layout.
+#: Version stamp of the single-target run manifest JSON layout.
 MANIFEST_FORMAT_VERSION: int = 1
+
+#: Version stamp of the multi-target campaign manifest JSON layout.
+CAMPAIGN_FORMAT_VERSION: int = 2
 
 _RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -43,6 +59,30 @@ _RUNTIME_DEFAULTS = RuntimeConfig()
 def shard_name(index: int) -> str:
     """Canonical shard name — the single source for directories and logs."""
     return f"shard-{int(index):04d}"
+
+
+def campaign_cell_seed(
+    base_seed: int, target: str, config_name: str, seed_index: int
+) -> int:
+    """Deterministic RNG seed of one campaign cell.
+
+    The cell's workload coordinates — *what* it computes — are hashed into
+    the :class:`numpy.random.SeedSequence` spawn key, so the seed is
+    invariant under re-ordering of the campaign's axis lists, independent
+    of the cell's flat index, and statistically independent across cells no
+    matter how similar two coordinates are.
+
+    The backend is deliberately **not** part of the derivation: cells that
+    differ only in backend run the identical trajectory workload, which is
+    what makes the backend axis usable for paired timing comparisons
+    (Fig. 4's CPU vs CPU-GPU times) and functional-equivalence checks.
+    Independent replicates belong on the seeds axis.
+    """
+    low, high = stable_name_key(f"{target}\x1f{config_name}")
+    seq = np.random.SeedSequence(
+        entropy=int(base_seed), spawn_key=(low, high, int(seed_index))
+    )
+    return int(seq.generate_state(1)[0])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +111,57 @@ class ShardSpec:
             index=int(payload["index"]),
             seed=int(payload["seed"]),
             backend=str(payload["backend"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One fully materialised, schedulable trajectory.
+
+    This is the unit the executor runs: it carries everything a worker
+    process needs to rebuild the sampler — target name, sampling
+    configuration, derived RNG seed, backend kind and checkpoint cadence —
+    plus the grid coordinates (``config_name``, ``seed_index``) that let
+    result consumers group cells back into the campaign's axes.  Both
+    :meth:`RunSpec.cell` and :meth:`Campaign.cell` produce these.
+    """
+
+    run_id: str
+    index: int
+    target: str
+    config: SamplingConfig
+    seed: int
+    backend: str
+    config_name: str = "config"
+    seed_index: int = 0
+    checkpoint_every: int = _RUNTIME_DEFAULTS.checkpoint_every
+
+    @property
+    def name(self) -> str:
+        """Stable shard name used for directories and log lines."""
+        return shard_name(self.index)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        payload = dataclasses.asdict(self)
+        payload["config"] = dataclasses.asdict(self.config)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            index=int(payload["index"]),
+            target=str(payload["target"]),
+            config=SamplingConfig(**payload["config"]),
+            seed=int(payload["seed"]),
+            backend=str(payload["backend"]),
+            config_name=str(payload.get("config_name", "config")),
+            seed_index=int(payload.get("seed_index", 0)),
+            checkpoint_every=int(
+                payload.get("checkpoint_every", _RUNTIME_DEFAULTS.checkpoint_every)
+            ),
         )
 
 
@@ -155,6 +246,29 @@ class RunSpec:
         """All shard specs, in index order."""
         return [self.shard(i) for i in range(self.n_trajectories)]
 
+    def cell(self, index: int) -> CellSpec:
+        """The executor-facing cell of shard ``index``."""
+        shard = self.shard(index)
+        return CellSpec(
+            run_id=self.run_id,
+            index=index,
+            target=self.target,
+            config=self.config,
+            seed=shard.seed,
+            backend=shard.backend,
+            config_name="config",
+            seed_index=index,
+            checkpoint_every=self.checkpoint_every,
+        )
+
+    def cells(self) -> List[CellSpec]:
+        """All executor-facing cells, in index order."""
+        return [self.cell(i) for i in range(self.n_trajectories)]
+
+    def manifest(self) -> "RunManifest":
+        """The manifest document describing this run."""
+        return RunManifest(spec=self)
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -223,5 +337,252 @@ class RunManifest:
                 raise ValueError(
                     "manifest shard table does not match its spec; the "
                     "manifest file appears edited or truncated"
+                )
+        return manifest
+
+
+@dataclasses.dataclass(frozen=True)
+class Campaign:
+    """Declarative multi-target grid: ``targets x configs x seeds x backends``.
+
+    One campaign is one paper table: every combination of a benchmark
+    target, a named sampling configuration, a seed label and a backend kind
+    becomes one independent trajectory (a :class:`CellSpec`), persisted and
+    scheduled exactly like the shards of a single-target :class:`RunSpec`.
+
+    Attributes
+    ----------
+    campaign_id:
+        Store-unique identifier (letters, digits, ``._-``).
+    targets:
+        Benchmark target names resolvable by
+        :func:`repro.loops.targets.get_target`.
+    configs:
+        Ordered ``(name, SamplingConfig)`` pairs; the name is the grid
+        coordinate results are grouped by (e.g. ``"pop512"``).
+    seeds:
+        Seed *labels* (replicate indices).  The actual per-cell RNG seed is
+        derived from ``base_seed`` and the cell coordinates through
+        :func:`campaign_cell_seed`.
+    backends:
+        Backend kinds; every cell of the grid runs on every backend.
+    base_seed:
+        Master seed all cell seeds are derived from.
+    checkpoint_every:
+        Iterations between cell checkpoints (0 disables).
+    workers:
+        Worker processes the executor should use.
+    """
+
+    campaign_id: str
+    targets: Tuple[str, ...]
+    configs: Tuple[Tuple[str, SamplingConfig], ...]
+    seeds: Tuple[int, ...] = (0,)
+    backends: Tuple[str, ...] = _RUNTIME_DEFAULTS.backends
+    base_seed: int = 0
+    checkpoint_every: int = _RUNTIME_DEFAULTS.checkpoint_every
+    workers: int = _RUNTIME_DEFAULTS.workers
+
+    def __post_init__(self) -> None:
+        if not _RUN_ID_PATTERN.match(self.campaign_id):
+            raise ValueError(
+                "campaign_id must be non-empty and contain only letters, "
+                f"digits, '.', '_' or '-': {self.campaign_id!r}"
+            )
+        object.__setattr__(self, "targets", tuple(self.targets))
+        object.__setattr__(
+            self, "configs", tuple((str(n), c) for n, c in self.configs)
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        for axis_name in ("targets", "configs", "seeds", "backends"):
+            axis = getattr(self, axis_name)
+            if not axis:
+                raise ValueError(f"campaign {axis_name} must be non-empty")
+        names = [name for name, _config in self.configs]
+        # Backend labels are compared after alias resolution: "gpu" and
+        # "cpu-gpu" name the same implementation, and (backend being
+        # excluded from the seed derivation) duplicated backends would run
+        # bit-identical trajectories twice and double-count every result.
+        from repro.api.registry import BACKENDS
+
+        backend_labels = [BACKENDS.canonical(b) for b in self.backends]
+        for axis_name, labels in (
+            ("targets", self.targets),
+            ("configs", names),
+            ("seeds", self.seeds),
+            ("backends", backend_labels),
+        ):
+            if len(set(labels)) != len(labels):
+                raise ValueError(
+                    f"campaign {axis_name} contain duplicates: {labels!r}"
+                )
+        for _name, config in self.configs:
+            if not isinstance(config, SamplingConfig):
+                raise TypeError("campaign configs must map names to SamplingConfig")
+        # SeedSequence only accepts non-negative entropy/keys; catch it here
+        # with a message naming the campaign field instead of deep in numpy.
+        if self.base_seed < 0:
+            raise ValueError(f"campaign base_seed must be >= 0: {self.base_seed}")
+        negative = [s for s in self.seeds if s < 0]
+        if negative:
+            raise ValueError(f"campaign seeds must be >= 0: {negative}")
+        # The runtime fields share RuntimeConfig's validation rules.
+        RuntimeConfig(
+            workers=self.workers,
+            checkpoint_every=self.checkpoint_every,
+            backends=self.backends,
+        )
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "_config_by_name", dict(self.configs))
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        """Alias so campaigns share the store/executor code paths of runs."""
+        return self.campaign_id
+
+    @property
+    def n_trajectories(self) -> int:
+        """Total number of cells in the expanded grid."""
+        return (
+            len(self.targets) * len(self.configs) * len(self.seeds) * len(self.backends)
+        )
+
+    def coordinates(self, index: int) -> Tuple[str, str, int, str]:
+        """Grid coordinates ``(target, config_name, seed, backend)`` of a cell.
+
+        Cells are enumerated target-major, backend-minor: the flat index is
+        ``((t * n_configs + c) * n_seeds + s) * n_backends + b``.
+        """
+        if not (0 <= index < self.n_trajectories):
+            raise IndexError(f"cell index {index} out of range")
+        index, b = divmod(index, len(self.backends))
+        index, s = divmod(index, len(self.seeds))
+        t, c = divmod(index, len(self.configs))
+        return (
+            self.targets[t],
+            self.configs[c][0],
+            self.seeds[s],
+            self.backends[b],
+        )
+
+    def cell(self, index: int) -> CellSpec:
+        """Materialise the cell at flat index ``index``."""
+        target, config_name, seed_label, backend = self.coordinates(index)
+        config = self._config_by_name[config_name]
+        return CellSpec(
+            run_id=self.campaign_id,
+            index=index,
+            target=target,
+            config=config,
+            seed=campaign_cell_seed(self.base_seed, target, config_name, seed_label),
+            backend=backend,
+            config_name=config_name,
+            seed_index=seed_label,
+            checkpoint_every=self.checkpoint_every,
+        )
+
+    def cells(self) -> List[CellSpec]:
+        """All cells of the expanded grid, in flat-index order.
+
+        The expansion (including every cell's seed derivation) is computed
+        once and cached — status polls and daemon drain passes re-read it
+        on every tick, and the campaign is frozen.
+        """
+        cached = self.__dict__.get("_cells_cache")
+        if cached is None:
+            cached = tuple(self.cell(i) for i in range(self.n_trajectories))
+            object.__setattr__(self, "_cells_cache", cached)
+        return list(cached)
+
+    def manifest(self) -> "CampaignManifest":
+        """The manifest document describing this campaign."""
+        return CampaignManifest(spec=self)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "campaign_id": self.campaign_id,
+            "targets": list(self.targets),
+            "configs": [
+                {"name": name, "config": dataclasses.asdict(config)}
+                for name, config in self.configs
+            ],
+            "seeds": list(self.seeds),
+            "backends": list(self.backends),
+            "base_seed": self.base_seed,
+            "checkpoint_every": self.checkpoint_every,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Campaign":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            campaign_id=str(payload["campaign_id"]),
+            targets=tuple(payload["targets"]),
+            configs=tuple(
+                (str(entry["name"]), SamplingConfig(**entry["config"]))
+                for entry in payload["configs"]
+            ),
+            seeds=tuple(payload["seeds"]),
+            backends=tuple(payload["backends"]),
+            base_seed=int(payload["base_seed"]),
+            checkpoint_every=int(payload["checkpoint_every"]),
+            workers=int(payload["workers"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignManifest:
+    """The persisted description of a campaign: spec plus its cell table."""
+
+    spec: Campaign
+    format_version: int = CAMPAIGN_FORMAT_VERSION
+
+    @property
+    def run_id(self) -> str:
+        """Identifier of the described campaign."""
+        return self.spec.campaign_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON document body of ``manifest.json``."""
+        return {
+            "format_version": self.format_version,
+            "spec": self.spec.to_dict(),
+            "cells": [cell.to_dict() for cell in self.spec.cells()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignManifest":
+        """Rebuild from :meth:`to_dict` output, validating the cell table.
+
+        Like :meth:`RunManifest.from_dict`, a manifest whose stored cell
+        table disagrees with its spec (hand-edited seeds, truncated grid)
+        is rejected rather than silently re-derived.
+        """
+        version = int(payload.get("format_version", -1))
+        if version != CAMPAIGN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported campaign manifest format_version {version}; "
+                f"expected {CAMPAIGN_FORMAT_VERSION}"
+            )
+        manifest = cls(
+            spec=Campaign.from_dict(payload["spec"]), format_version=version
+        )
+        stored = payload.get("cells")
+        if stored is not None:
+            derived = [cell.to_dict() for cell in manifest.spec.cells()]
+            if list(stored) != derived:
+                raise ValueError(
+                    "campaign manifest cell table does not match its spec; "
+                    "the manifest file appears edited or truncated"
                 )
         return manifest

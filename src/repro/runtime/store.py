@@ -32,7 +32,14 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.moscem.decoys import Decoy, DecoySet
-from repro.runtime.spec import RunManifest, RunSpec, shard_name
+from repro.runtime.spec import (
+    CAMPAIGN_FORMAT_VERSION,
+    MANIFEST_FORMAT_VERSION,
+    CampaignManifest,
+    RunManifest,
+    RunSpec,
+    shard_name,
+)
 from repro.utils.fileio import write_bytes_atomic, write_json_atomic
 from repro.utils.timing import TimingLedger
 
@@ -104,9 +111,14 @@ class RunStore:
             if (entry / self.MANIFEST_NAME).is_file()
         )
 
-    def create_run(self, spec: RunSpec, exist_ok: bool = False) -> RunManifest:
-        """Register a run: write its manifest and shard directories."""
-        manifest = RunManifest(spec=spec)
+    def create_run(self, spec: Union[RunSpec, "object"], exist_ok: bool = False):
+        """Register a run or campaign: write its manifest and cell directories.
+
+        ``spec`` is anything with ``run_id``, ``cells()`` and ``manifest()``
+        — a :class:`~repro.runtime.spec.RunSpec` or a
+        :class:`~repro.runtime.spec.Campaign`.
+        """
+        manifest = spec.manifest()
         manifest_path = self.run_dir(spec.run_id) / self.MANIFEST_NAME
         if manifest_path.exists():
             if not exist_ok:
@@ -120,15 +132,20 @@ class RunStore:
                     "choose a new run id"
                 )
             return existing
-        for shard in spec.shards():
-            self.shard_dir(spec.run_id, shard.index).mkdir(
+        for cell in spec.cells():
+            self.shard_dir(spec.run_id, cell.index).mkdir(
                 parents=True, exist_ok=True
             )
         write_json_atomic(manifest_path, manifest.to_dict())
         return manifest
 
-    def load_manifest(self, run_id: str) -> RunManifest:
-        """Load the manifest of ``run_id`` (raises if absent or invalid)."""
+    def load_manifest(self, run_id: str) -> Union[RunManifest, CampaignManifest]:
+        """Load the manifest of ``run_id`` (raises if absent or invalid).
+
+        Dispatches on the document's ``format_version``: version 1 is a
+        single-target :class:`RunManifest`, version 2 a multi-target
+        :class:`CampaignManifest`.
+        """
         path = self.run_dir(run_id) / self.MANIFEST_NAME
         try:
             payload = _read_json(path)
@@ -137,10 +154,40 @@ class RunStore:
                 f"unknown run {run_id!r} in store {self.root} "
                 f"(available: {self.list_runs()})"
             ) from None
+        version = int(payload.get("format_version", -1))
         try:
-            return RunManifest.from_dict(payload)
+            if version == CAMPAIGN_FORMAT_VERSION:
+                return CampaignManifest.from_dict(payload)
+            if version == MANIFEST_FORMAT_VERSION:
+                return RunManifest.from_dict(payload)
+            raise ValueError(f"unsupported manifest format_version {version}")
         except (KeyError, TypeError, ValueError) as exc:
             raise RunStoreError(f"invalid manifest for run {run_id!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    CANCEL_NAME = "cancelled.json"
+
+    def mark_cancelled(self, run_id: str) -> None:
+        """Flag a run so the daemon stops scheduling its pending cells.
+
+        Cells already executing finish their current trajectory; cancelling
+        is a scheduling decision, not a kill signal.
+        """
+        if not (self.run_dir(run_id) / self.MANIFEST_NAME).is_file():
+            raise RunStoreError(
+                f"unknown run {run_id!r} in store {self.root} "
+                f"(available: {self.list_runs()})"
+            )
+        write_json_atomic(
+            self.run_dir(run_id) / self.CANCEL_NAME, {"cancelled": True}
+        )
+
+    def is_cancelled(self, run_id: str) -> bool:
+        """Whether a run has been flagged as cancelled."""
+        return (self.run_dir(run_id) / self.CANCEL_NAME).is_file()
 
     # ------------------------------------------------------------------
     # Shard status

@@ -46,15 +46,26 @@ __all__ = [
     "WeightedSumScore",
     "normalize_scores",
     "score_ranges",
+    "DEFAULT_SCORERS",
+    "build_multi_score",
     "default_multi_score",
 ]
 
+#: Registry names of the paper's scoring-function set, in evaluation order.
+DEFAULT_SCORERS = ("vdw", "triplet", "dist")
 
-def default_multi_score(target, knowledge_base=None, block_size=None) -> MultiScore:
-    """The paper's scoring-function set (VDW, TRIPLET, DIST) for a target.
+
+def build_multi_score(
+    names, target, knowledge_base=None, block_size=None
+) -> MultiScore:
+    """Assemble a :class:`MultiScore` from scorer registry names.
 
     Parameters
     ----------
+    names:
+        Scorer names resolvable by :data:`repro.api.registry.SCORERS`
+        (built-ins: ``"vdw"``, ``"triplet"``, ``"dist"``; more can be
+        contributed via :func:`repro.api.registry.register_scorer`).
     target:
         A :class:`repro.loops.loop.LoopTarget`.
     knowledge_base:
@@ -64,11 +75,19 @@ def default_multi_score(target, knowledge_base=None, block_size=None) -> MultiSc
         Population chunk size of the batched kernels; ``None`` or ``0``
         selects :data:`repro.scoring.pairwise.DEFAULT_BLOCK_SIZE`.
     """
+    from repro.api.registry import SCORERS
+
     kb = knowledge_base if knowledge_base is not None else default_knowledge_base()
     return MultiScore(
         [
-            SoftSphereVDW(target, block_size=block_size),
-            TripletScore(target, kb, block_size=block_size),
-            DistanceScore(target, kb, block_size=block_size),
+            SCORERS.create(name, target, knowledge_base=kb, block_size=block_size)
+            for name in names
         ]
+    )
+
+
+def default_multi_score(target, knowledge_base=None, block_size=None) -> MultiScore:
+    """The paper's scoring-function set (VDW, TRIPLET, DIST) for a target."""
+    return build_multi_score(
+        DEFAULT_SCORERS, target, knowledge_base=knowledge_base, block_size=block_size
     )

@@ -40,6 +40,7 @@ __all__ = [
     "soft_sphere_penalty_sq",
     "indexed_sq_distances",
     "indexed_penalty_sum",
+    "rotation_alignment_terms",
     "squared_bin_edges",
     "bin_squared_distances",
     "binned_table_sum",
@@ -153,6 +154,53 @@ def indexed_penalty_sum(
             "pk->p", soft_sphere_penalty_sq(sq_d, sq_contacts)
         )
     return totals
+
+
+def rotation_alignment_terms(
+    points: np.ndarray,
+    targets: np.ndarray,
+    origins: np.ndarray,
+    axes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-member closed-form rotation-alignment terms ``(a, b)``.
+
+    The gather-and-reduce primitive behind CCD's per-pivot update: for each
+    member ``p`` with unit rotation axis ``axes[p]`` anchored at
+    ``origins[p]``, the K point pairs (moving ``points[p, k]``, fixed
+    ``targets[k]``) are reduced to
+
+    ``a = sum_k  r.f - (r.axis)(f.axis)``  and
+    ``b = sum_k  axis.(r x f)``
+
+    where ``r``/``f`` are the moving/fixed points relative to the origin —
+    the expanded perpendicular products, so no ``r_perp``/``f_perp``
+    temporaries are materialised, and the triple product is summed
+    componentwise to avoid the dispatch overhead of ``np.cross`` on small
+    populations.  ``arctan2(b, a)`` is then the rotation angle about the
+    axis minimising the summed squared pair distance (both terms ~0 means
+    the gradient is pure noise and the member should not rotate).
+
+    Parameters
+    ----------
+    points:
+        ``(P, K, 3)`` moving points per member.
+    targets:
+        ``(K, 3)`` fixed target points shared by all members.
+    origins:
+        ``(P, 3)`` rotation-axis anchor per member.
+    axes:
+        ``(P, 3)`` unit rotation axis per member.
+    """
+    r = points - origins[:, None, :]
+    f = targets[None, :, :] - origins[:, None, :]
+    r_ax = np.einsum("pki,pi->pk", r, axes)
+    f_ax = np.einsum("pki,pi->pk", f, axes)
+    a = np.einsum("pki,pki->p", r, f) - np.einsum("pk,pk->p", r_ax, f_ax)
+    cx = (r[:, :, 1] * f[:, :, 2] - r[:, :, 2] * f[:, :, 1]).sum(axis=1)
+    cy = (r[:, :, 2] * f[:, :, 0] - r[:, :, 0] * f[:, :, 2]).sum(axis=1)
+    cz = (r[:, :, 0] * f[:, :, 1] - r[:, :, 1] * f[:, :, 0]).sum(axis=1)
+    b = axes[:, 0] * cx + axes[:, 1] * cy + axes[:, 2] * cz
+    return a, b
 
 
 def squared_bin_edges(max_value: float, n_bins: int) -> np.ndarray:
@@ -362,6 +410,17 @@ class EnvironmentGrid:
         probe_ids = np.repeat(np.arange(n_probes, dtype=np.int64), self.n_atoms)
         positions = np.tile(np.arange(self.n_atoms, dtype=np.int64), n_probes)
         return probe_ids, positions
+
+    def candidate_neighbors(self, probes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs as (probe index, *original* atom index).
+
+        Like :meth:`candidate_pairs`, but with the cell-sorted positions
+        mapped back to the indices of the coordinate array the grid was
+        built from — the form consumers that index their own per-atom data
+        (e.g. the batch-RMSD pruning) need.
+        """
+        probe_ids, positions = self.candidate_pairs(probes)
+        return probe_ids, self._sorted_atoms[positions]
 
     def penalty_sum(
         self,

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["RandomStreams", "spawn_rng"]
+__all__ = ["RandomStreams", "spawn_rng", "stable_name_key"]
 
 
 def spawn_rng(seed: Optional[int], *key: int) -> np.random.Generator:
@@ -59,7 +59,7 @@ class RandomStreams:
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if necessary) the stream registered under ``name``."""
         if name not in self._streams:
-            key = _stable_name_key(name)
+            key = stable_name_key(name)
             self._streams[name] = spawn_rng(self._seed, *key)
         return self._streams[name]
 
@@ -77,8 +77,12 @@ class RandomStreams:
         return tuple(self._streams)
 
 
-def _stable_name_key(name: str) -> tuple:
-    """Map a stream name to a short, deterministic tuple of integers."""
+def stable_name_key(name: str) -> tuple:
+    """Map a name to a short, deterministic tuple of integers.
+
+    Used wherever a string identity (stream name, campaign-cell coordinate)
+    must be mixed into a :class:`numpy.random.SeedSequence` spawn key.
+    """
     # A tiny stable hash (FNV-1a over the UTF-8 bytes) so that stream
     # identities do not depend on Python's randomised str hash.
     h = 1469598103934665603

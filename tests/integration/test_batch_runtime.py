@@ -111,7 +111,7 @@ class TestShardedExecution:
 
         original = executor_module._build_sampler
 
-        def broken(spec_, shard_):
+        def broken(cell_):
             raise RuntimeError("backend exploded")
 
         executor_module._build_sampler = broken
@@ -140,8 +140,8 @@ class TestKillAndResume:
 
         original = executor_module._build_sampler
 
-        def killing(spec_, shard_):
-            sampler = original(spec_, shard_)
+        def killing(cell_):
+            sampler = original(cell_)
             inner_step = sampler.step
 
             def step(state, host_ledger=None):
