@@ -20,12 +20,12 @@ Merged sets feed straight into the existing single-set analyses — e.g.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.moscem.decoys import DecoySet
 from repro.utils.timing import TimingLedger
 
-__all__ = ["merge_decoy_sets", "merge_timing_ledgers"]
+__all__ = ["merge_decoy_sets", "merge_timing_ledgers", "migration_provenance"]
 
 
 def merge_decoy_sets(
@@ -75,3 +75,55 @@ def merge_timing_ledgers(ledgers: Iterable[TimingLedger]) -> TimingLedger:
     for ledger in ledgers:
         merged.merge(ledger)
     return merged
+
+
+def migration_provenance(
+    events: Iterable[Dict[str, Any]]
+) -> Dict[int, Dict[str, Any]]:
+    """Per-island summary of a migration ledger.
+
+    ``events`` are the records of
+    :meth:`repro.islands.broker.MigrationBroker.ledger`.  Returns one
+    entry per shard (island) that took part in any exchange::
+
+        {shard: {"island": ..., "group": ..., "events": n,
+                 "immigrants_accepted": ..., "immigrants_rejected": ...,
+                 "emigrants_accepted_elsewhere": ...}}
+
+    ``immigrants_accepted`` counts members this island absorbed (its decoy
+    provenance now spans other islands' lineages);
+    ``emigrants_accepted_elsewhere`` counts this island's members that
+    other islands absorbed — together they trace how genetic material
+    flowed through the archipelago.
+    """
+    per_shard: Dict[int, Dict[str, Any]] = {}
+
+    def _entry(shard: int, island: Optional[int], group: Optional[str]):
+        entry = per_shard.setdefault(
+            int(shard),
+            {
+                "island": island,
+                "group": group,
+                "events": 0,
+                "immigrants_accepted": 0,
+                "immigrants_rejected": 0,
+                "emigrants_accepted_elsewhere": 0,
+            },
+        )
+        if entry["island"] is None and island is not None:
+            entry["island"] = island
+        if entry["group"] is None and group is not None:
+            entry["group"] = group
+        return entry
+
+    for event in events:
+        shard = int(event["shard"])
+        entry = _entry(shard, int(event.get("island", -1)), event.get("group"))
+        entry["events"] += 1
+        accepted: List[Dict[str, Any]] = list(event.get("accepted", ()))
+        entry["immigrants_accepted"] += len(accepted)
+        entry["immigrants_rejected"] += int(event.get("rejected_duplicates", 0))
+        for row in accepted:
+            source = _entry(int(row["source_shard"]), None, event.get("group"))
+            source["emigrants_accepted_elsewhere"] += 1
+    return per_shard

@@ -73,6 +73,7 @@ from repro.api.session import (
     CellStatus,
     Session,
 )
+from repro.islands import IslandPlan, MigrationBroker, MigrationPolicy
 from repro.runtime.spec import Campaign, CellSpec, campaign_cell_seed
 
 __all__ = [
@@ -95,6 +96,10 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "drain_once",
     "serve",
+    # Island migration
+    "MigrationPolicy",
+    "MigrationBroker",
+    "IslandPlan",
     # Results
     "CampaignResult",
     "TrajectoryResult",

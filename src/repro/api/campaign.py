@@ -28,6 +28,12 @@ The file schema::
     population_size = 64
     n_complexes = 4
     iterations = 10
+
+    [migration]                # optional: island-model migration between
+    topology = "ring"          # the seed replicates of each workload group
+    cadence = 1                # checkpoint epochs between exchanges
+    elite_k = 2                # emigrants offered per exchange
+    selection = "crowding"     # crowding | rank | random
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import SamplingConfig
+from repro.islands.policy import MigrationPolicy
 from repro.runtime.spec import Campaign
 
 __all__ = [
@@ -90,6 +97,19 @@ def _as_configs(value) -> Tuple[Tuple[str, SamplingConfig], ...]:
     return tuple(configs)
 
 
+def _as_migration(value) -> Optional[MigrationPolicy]:
+    if value is None or isinstance(value, MigrationPolicy):
+        return value
+    if isinstance(value, str):
+        return MigrationPolicy(topology=value)
+    if isinstance(value, Mapping):
+        return MigrationPolicy.from_dict(dict(value))
+    raise TypeError(
+        "campaign migration must be a MigrationPolicy, a topology name, "
+        f"or a mapping of policy fields; got {value!r}"
+    )
+
+
 def campaign(
     campaign_id: str,
     targets: Union[str, Sequence[str]],
@@ -99,6 +119,7 @@ def campaign(
     base_seed: int = 0,
     checkpoint_every: Optional[int] = None,
     workers: Optional[int] = None,
+    migration: Union[MigrationPolicy, Mapping[str, Any], str, None] = None,
 ) -> Campaign:
     """Build a :class:`Campaign` with forgiving axis types.
 
@@ -106,8 +127,11 @@ def campaign(
     :class:`SamplingConfig` (named ``"default"``), a name-to-config
     mapping (values may be plain field dicts), or explicit pairs; an
     integer replicate count or explicit seed labels; and a single backend
-    name or a list.  Omitted runtime fields take the
-    :class:`~repro.config.RuntimeConfig` defaults.
+    name or a list.  ``migration`` turns the seed replicates of each
+    workload group into an archipelago: a
+    :class:`~repro.islands.MigrationPolicy`, a bare topology name
+    (``"ring"``), or a mapping of policy fields.  Omitted runtime fields
+    take the :class:`~repro.config.RuntimeConfig` defaults.
     """
     kwargs: Dict[str, Any] = {}
     if backends is not None:
@@ -116,6 +140,8 @@ def campaign(
         kwargs["checkpoint_every"] = int(checkpoint_every)
     if workers is not None:
         kwargs["workers"] = int(workers)
+    if migration is not None:
+        kwargs["migration"] = _as_migration(migration)
     return Campaign(
         campaign_id=campaign_id,
         targets=_as_tuple(targets, "targets"),
@@ -153,6 +179,7 @@ def campaign_from_dict(payload: Mapping[str, Any]) -> Campaign:
         base_seed=section.get("base_seed", 0),
         checkpoint_every=section.get("checkpoint_every"),
         workers=section.get("workers"),
+        migration=payload.get("migration"),
     )
 
 

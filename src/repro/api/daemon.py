@@ -8,11 +8,19 @@ report.  Batching across campaigns matters: workers keep process-level
 caches of targets, knowledge bases and assembled scoring stacks (see
 :mod:`repro.runtime.executor`), so draining ten campaigns over the same
 benchmark in one pool builds each target's tables once, not ten times.
+:func:`serve` holds one :class:`~repro.runtime.executor.PersistentPool`
+for its whole lifetime, so those worker caches survive *across* drain
+passes too — the pool is built once per daemon, not once per pass.
 
 :func:`serve` wraps ``drain_once`` in a poll loop for the ``repro-daemon``
 entry point.  Because cell execution is idempotent and checkpointed, a
 daemon killed mid-drain loses nothing: the next drain re-schedules only
-the unfinished cells, each resuming from its latest checkpoint.
+the unfinished cells, each resuming from its latest checkpoint.  Cells of
+a migrating archipelago (see :mod:`repro.islands`) may finish a pass in
+the *waiting* state — parked at a migration boundary until their source
+islands emit; they stay pending and the next pass resumes them, so an
+island campaign drains to completion over a handful of passes with no
+daemon-side coordination.
 """
 
 from __future__ import annotations
@@ -21,8 +29,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.config import RuntimeConfig
-from repro.runtime.executor import _cell_task, parallel_map
+from repro.runtime.executor import PersistentPool, _cell_task, parallel_map
 from repro.runtime.spec import CellSpec
 from repro.runtime.store import RunStore, RunStoreError
 
@@ -44,6 +54,7 @@ class DrainReport:
 
     executed: int = 0
     failed: int = 0
+    waiting: int = 0
     skipped_cancelled: int = 0
     skipped_exhausted: int = 0
     campaigns: List[str] = field(default_factory=list)
@@ -53,13 +64,15 @@ class DrainReport:
     def idle(self) -> bool:
         """Whether the pass found nothing left worth attempting.
 
-        A pass that attempted cells — even unsuccessfully — is not idle;
-        clients polling on ``idle`` would otherwise quiesce while
-        retryable work remains.
+        A pass that attempted cells — even unsuccessfully, or one that
+        merely advanced waiting islands to their next migration boundary —
+        is not idle; clients polling on ``idle`` would otherwise quiesce
+        while retryable or resumable work remains.
         """
         return (
             self.executed == 0
             and self.failed == 0
+            and self.waiting == 0
             and self.skipped_cancelled == 0
         )
 
@@ -92,16 +105,73 @@ def _pending_cells(
         if store.is_cancelled(run_id):
             skipped += len(unfinished)
             continue
+        statuses = {
+            cell.index: store.read_shard_status(run_id, cell.index)
+            for cell in unfinished
+        }
+        parked = {
+            index
+            for index, status in statuses.items()
+            if max_attempts is not None
+            and int(status.get("attempts", 0)) >= max_attempts
+        }
+        # Transitive parking of dead archipelago branches: a cell waiting
+        # on a parked, unfinished source can never receive that packet
+        # (packets are immutable and only the source emits them), so it is
+        # parked too — otherwise serve() would rebuild and re-park it on
+        # every pass forever.  The fixpoint propagates through chains
+        # (A parked -> B waits on A -> C waits on B).
+        unfinished_indices = set(statuses)
+        starved: set = set()
+        broker = None
+        changed = bool(parked)
+        while changed:
+            changed = False
+            for cell in unfinished:
+                index = cell.index
+                status = statuses[index]
+                if index in parked or index in starved:
+                    continue
+                if status.get("state") != "waiting":
+                    continue
+                epoch = int(status.get("migration_epoch", 0))
+                dead = set()
+                for source in status.get("waiting_on", ()):
+                    source = int(source)
+                    if source not in (parked | starved):
+                        continue
+                    if source not in unfinished_indices:
+                        continue
+                    if epoch > 0:
+                        if broker is None:
+                            from repro.islands.broker import MigrationBroker
+
+                            broker = MigrationBroker(store, run_id)
+                        if broker.has_packet(source, epoch):
+                            # The packet landed before the source died;
+                            # the waiter can still absorb and resume.
+                            continue
+                    dead.add(source)
+                if dead:
+                    starved.add(index)
+                    changed = True
+                    if progress is not None:
+                        progress(
+                            f"{run_id}/{cell.name}: parked — waiting on "
+                            f"shard(s) {sorted(dead)} that will never emit "
+                            "(exhausted after repeated failures)"
+                        )
         drainable = []
         for cell in unfinished:
-            attempts = int(
-                store.read_shard_status(run_id, cell.index).get("attempts", 0)
-            )
-            if max_attempts is not None and attempts >= max_attempts:
+            if cell.index in starved:
+                exhausted += 1
+                continue
+            if cell.index in parked:
                 exhausted += 1
                 if progress is not None:
                     progress(
-                        f"{run_id}/{cell.name}: parked after {attempts} failed "
+                        f"{run_id}/{cell.name}: parked after "
+                        f"{statuses[cell.index].get('attempts', 0)} failed "
                         "attempt(s); re-drain with a higher --max-attempts to retry"
                     )
             else:
@@ -117,6 +187,7 @@ def drain_once(
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+    pool: Optional[PersistentPool] = None,
 ) -> DrainReport:
     """Execute every drainable cell in the store through one worker pool.
 
@@ -126,7 +197,10 @@ def drain_once(
     ``max_attempts`` times (counted in their status documents), after
     which they are parked so a deterministically broken cell cannot turn
     :func:`serve` into a hot retry loop.  ``max_attempts=None`` retries
-    without bound.
+    without bound.  Cells that park themselves *waiting* at a migration
+    boundary are neither failures nor completions: they count into
+    ``report.waiting`` and stay drainable.  ``pool`` reuses a persistent
+    worker pool across passes (see :func:`serve`).
     """
     pending, skipped, exhausted, campaigns = _pending_cells(
         store, progress, max_attempts
@@ -157,6 +231,14 @@ def drain_once(
             report.errors[f"{cell.run_id}/{cell.name}"] = summary["error"]
             if progress is not None:
                 progress(f"{cell.run_id}/{cell.name}: FAILED {summary['error']}")
+        elif summary.get("waiting"):
+            report.waiting += 1
+            if progress is not None:
+                progress(
+                    f"{cell.run_id}/{cell.name}: waiting at migration epoch "
+                    f"{summary.get('migration_epoch')} for shard(s) "
+                    f"{summary.get('waiting_on')}"
+                )
         elif progress is not None:
             progress(
                 f"{cell.run_id}/{cell.name}: done in "
@@ -165,8 +247,10 @@ def drain_once(
             )
 
     effective_workers = workers if workers is not None else _DEFAULTS.workers
-    parallel_map(_cell_task, payloads, effective_workers, on_result=_report)
-    report.executed = len(pending) - report.failed
+    parallel_map(
+        _cell_task, payloads, effective_workers, on_result=_report, pool=pool
+    )
+    report.executed = len(pending) - report.failed - report.waiting
     return report
 
 
@@ -181,20 +265,30 @@ def serve(
     """Drain the store in a loop, sleeping ``poll_seconds`` between passes.
 
     ``max_cycles`` bounds the number of passes (``None`` serves forever);
-    the report of the final pass is returned.  The loop also exits on
-    ``KeyboardInterrupt`` — killing the daemon is the intended shutdown,
-    and loses no work.
+    the report of the final pass is returned.  One persistent worker pool
+    spans every pass, so the workers' component caches (targets, knowledge
+    bases, scoring stacks) live as long as the daemon; a crash that breaks
+    the pool is logged and the next pass rebuilds it.  The loop also exits
+    on ``KeyboardInterrupt`` — killing the daemon is the intended
+    shutdown, and loses no work.
     """
     report = DrainReport()
     cycle = 0
+    effective_workers = workers if workers is not None else _DEFAULTS.workers
+    pool = PersistentPool(effective_workers) if effective_workers > 1 else None
     try:
         while max_cycles is None or cycle < max_cycles:
-            report = drain_once(
-                store,
-                workers=workers,
-                progress=progress,
-                max_attempts=max_attempts,
-            )
+            try:
+                report = drain_once(
+                    store,
+                    workers=workers,
+                    progress=progress,
+                    max_attempts=max_attempts,
+                    pool=pool,
+                )
+            except BrokenProcessPool as exc:  # pragma: no cover - worker crash
+                if progress is not None:
+                    progress(f"worker pool broke ({exc}); rebuilding next pass")
             cycle += 1
             if max_cycles is not None and cycle >= max_cycles:
                 break
@@ -202,4 +296,7 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         if progress is not None:
             progress("daemon interrupted; pending cells remain drainable")
+    finally:
+        if pool is not None:
+            pool.close()
     return report

@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
+from repro.analysis.aggregation import (
+    merge_decoy_sets,
+    merge_timing_ledgers,
+    migration_provenance,
+)
 from repro.analysis.decoys import TargetQuality, evaluate_decoy_set
 from repro.analysis.reporting import TextTable
 from repro.moscem.decoys import DecoySet
@@ -68,6 +72,9 @@ class TrajectoryResult:
     decoys: DecoySet
     host_ledger: TimingLedger = field(default_factory=TimingLedger)
     kernel_ledger: TimingLedger = field(default_factory=TimingLedger)
+    #: Number of migration exchanges this cell absorbed (0 for independent
+    #: cells) — the per-island provenance marker.
+    migration_epochs: int = 0
 
     @property
     def n_decoys(self) -> int:
@@ -99,15 +106,22 @@ class TrajectoryResult:
             decoys=decoys,
             host_ledger=ledgers["host"],
             kernel_ledger=ledgers["kernel"],
+            migration_epochs=int(summary.get("migration_epochs", 0)),
         )
 
 
 @dataclass
 class CampaignResult:
-    """All trajectories of a completed campaign, with per-target aggregation."""
+    """All trajectories of a completed campaign, with per-target aggregation.
+
+    ``migration_ledger`` holds the deterministic record of every island
+    exchange the campaign performed (empty for independent campaigns) —
+    see :meth:`repro.islands.broker.MigrationBroker.ledger`.
+    """
 
     campaign_id: str
     trajectories: List[TrajectoryResult] = field(default_factory=list)
+    migration_ledger: List[Dict[str, Any]] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.trajectories)
@@ -217,6 +231,29 @@ class CampaignResult:
         return sum(t.wall_seconds for t in self.trajectories)
 
     # ------------------------------------------------------------------
+    # Migration ledger and island provenance
+    # ------------------------------------------------------------------
+
+    def migration_events(self, target: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The migration ledger, optionally restricted to one target.
+
+        Events carry a ``group`` of the form ``target|config|backend``;
+        filtering by target keeps the exchanges of that target's islands.
+        """
+        if target is None:
+            return list(self.migration_ledger)
+        return [
+            event
+            for event in self.migration_ledger
+            if str(event.get("group", "")).split("|", 1)[0] == target
+        ]
+
+    def island_provenance(self) -> Dict[int, Dict[str, Any]]:
+        """Per-island exchange summary (see
+        :func:`repro.analysis.aggregation.migration_provenance`)."""
+        return migration_provenance(self.migration_ledger)
+
+    # ------------------------------------------------------------------
     # Rendering / serialisation
     # ------------------------------------------------------------------
 
@@ -248,6 +285,7 @@ class CampaignResult:
         return {
             "campaign_id": self.campaign_id,
             "n_trajectories": len(self.trajectories),
+            "migration_events": len(self.migration_ledger),
             "targets": {
                 target: {
                     "trajectories": len(cells),

@@ -23,7 +23,7 @@ import shutil
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.config import RuntimeConfig
 from repro.runtime.executor import ShardExecutor
@@ -181,20 +181,62 @@ class CampaignHandle:
             cancelled=self.store.is_cancelled(self.campaign_id),
         )
 
+    def watch(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield store-journal events as workers append them.
+
+        The subscription surface for long-running clients: instead of
+        polling :meth:`result` (which re-reads every cell's status
+        document per tick), ``watch`` tails the campaign's append-only
+        journal and yields each ``cell-done`` / ``cell-failed`` /
+        ``migration`` record once.  The generator terminates when every
+        cell has completed, the campaign is cancelled, or the timeout
+        elapses.  The journal is a stream, not the ledger — a worker
+        killed at the wrong instant may never append its event — so a
+        cheap status fall-back runs on quiet stretches to guarantee
+        termination.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        n_cells = self.spec.n_trajectories
+        done = set()
+        offset = 0
+        quiet = 0
+        while True:
+            records, offset = self.store.read_journal(self.campaign_id, offset)
+            for record in records:
+                if record.get("type") == "cell-done":
+                    done.add(int(record.get("shard", -1)))
+                yield record
+            if len(done) >= n_cells:
+                return
+            # The deadline binds even while events keep flowing — a busy
+            # campaign must not extend the caller's timeout.
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            if records:
+                quiet = 0
+                continue
+            quiet += 1
+            # First quiet tick, then every eighth: ground-truth check for
+            # completions whose journal append was lost to a kill.
+            if quiet == 1 or quiet % 8 == 0:
+                status = self.status()
+                if status.complete or status.cancelled:
+                    return
+            time.sleep(poll_seconds)
+
     def wait(
         self, timeout: Optional[float] = None, poll_seconds: float = 0.25
     ) -> CampaignStatus:
-        """Block until the campaign completes (or the timeout elapses)."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            status = self.status()
-            if status.complete:
-                return status
-            if status.cancelled:
-                return status
-            if deadline is not None and time.monotonic() >= deadline:
-                return status
-            time.sleep(poll_seconds)
+        """Block until the campaign completes (or the timeout elapses).
+
+        Subscribes through :meth:`watch` — one journal tail instead of a
+        full per-cell status scan per tick — and returns the final status.
+        """
+        for _record in self.watch(timeout=timeout, poll_seconds=poll_seconds):
+            pass
+        return self.status()
 
     def result(
         self, timeout: Optional[float] = None, poll_seconds: float = 0.25
@@ -214,12 +256,21 @@ class CampaignHandle:
                 f"{status.n_cells - status.n_done} unfinished cell(s) "
                 f"(states: {status.counts})"
             )
+        cells = self.spec.cells()
+        # Only archipelagos pay the ledger scan: independent campaigns
+        # (no cell carries an island plan) have a trivially empty ledger.
+        if any(getattr(cell, "migration", None) is not None for cell in cells):
+            from repro.islands.broker import MigrationBroker
+
+            ledger = MigrationBroker(self.store, self.campaign_id).ledger()
+        else:
+            ledger = []
         return CampaignResult(
             campaign_id=self.campaign_id,
             trajectories=[
-                TrajectoryResult.from_store(self.store, cell)
-                for cell in self.spec.cells()
+                TrajectoryResult.from_store(self.store, cell) for cell in cells
             ],
+            migration_ledger=ledger,
         )
 
     def cancel(self) -> None:

@@ -461,12 +461,43 @@ def _campaign_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_migration_flags(sub_parser) -> None:
+        """Island-migration overrides shared by ``submit`` and ``run``.
+
+        ``--migration TOPOLOGY`` replaces the campaign file's ``[migration]``
+        block entirely (``none`` switches migration off); the sub-flags
+        refine the chosen topology.
+        """
+        from repro.islands.policy import SELECTIONS, TOPOLOGIES
+
+        sub_parser.add_argument(
+            "--migration", choices=TOPOLOGIES, default=None,
+            help="override the campaign's migration topology "
+            "(none disables migration)",
+        )
+        sub_parser.add_argument(
+            "--migration-cadence", type=int, default=1,
+            help="checkpoint epochs between exchanges (default: 1; "
+            "only with --migration)",
+        )
+        sub_parser.add_argument(
+            "--migration-elite", type=int, default=2,
+            help="emigrants offered per exchange (default: 2; "
+            "only with --migration)",
+        )
+        sub_parser.add_argument(
+            "--migration-selection", choices=SELECTIONS, default="crowding",
+            help="emigrant selection rule (default: crowding; "
+            "only with --migration)",
+        )
+
     submit = sub.add_parser(
         "submit",
         help="persist a campaign manifest and return immediately "
         "(a repro-daemon drains it)",
     )
     submit.add_argument("file", help="campaign document (.toml or .json)")
+    _add_migration_flags(submit)
 
     run = sub.add_parser("run", help="execute a campaign synchronously")
     run.add_argument("file", help="campaign document (.toml or .json)")
@@ -474,6 +505,7 @@ def _campaign_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes (default: the campaign's)",
     )
+    _add_migration_flags(run)
 
     status = sub.add_parser("status", help="show per-cell progress")
     status.add_argument("campaign_id", nargs="?", default=None,
@@ -498,6 +530,29 @@ def _print_campaign_result(result) -> None:
     ledgers = result.merged_ledgers()
     print(f"total sampler time  : {result.wall_seconds():.2f} s")
     print(f"total kernel time   : {ledgers['kernel'].total():.2f} s")
+    if result.migration_ledger:
+        accepted = sum(
+            len(event.get("accepted", ())) for event in result.migration_ledger
+        )
+        print(f"migration events    : {len(result.migration_ledger)} "
+              f"({accepted} immigrants absorbed)")
+
+
+def _apply_migration_flags(grid, args):
+    """Overlay the ``--migration*`` flags onto a loaded campaign."""
+    if getattr(args, "migration", None) is None:
+        return grid
+    import dataclasses as _dataclasses
+
+    from repro.islands.policy import MigrationPolicy
+
+    policy = MigrationPolicy(
+        topology=args.migration,
+        cadence=args.migration_cadence,
+        elite_k=args.migration_elite,
+        selection=args.migration_selection,
+    )
+    return _dataclasses.replace(grid, migration=policy)
 
 
 def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -508,7 +563,7 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
 
     session = Session(args.store, progress=print)
     if args.command == "submit":
-        handle = session.submit(load_campaign(args.file))
+        handle = session.submit(_apply_migration_flags(load_campaign(args.file), args))
         status = handle.status()
         print(f"submitted {handle.campaign_id}: {status.n_cells} cell(s) "
               f"({status.n_done} already complete)")
@@ -517,7 +572,7 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         session.workers = args.workers
-        result = session.run(load_campaign(args.file))
+        result = session.run(_apply_migration_flags(load_campaign(args.file), args))
         _print_campaign_result(result)
         return 0
     if args.command == "status":
@@ -608,6 +663,7 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             max_attempts=max_attempts,
         )
     print(f"drained {report.executed} cell(s), {report.failed} failure(s), "
+          f"{report.waiting} waiting on migration, "
           f"{report.skipped_cancelled} cancelled-pending skipped, "
           f"{report.skipped_exhausted} parked after repeated failures")
     return 1 if report.failed else 0

@@ -1,0 +1,48 @@
+"""Island-model migration: campaigns as one cooperating archipelago.
+
+The paper's headline tables average many *independent* MOSCEM trajectories
+per loop target.  Population-based samplers converge faster — and cover
+the Pareto front better — when subpopulations periodically exchange elite
+members; this package upgrades a campaign's per-target cells from isolated
+shards into a configurable archipelago:
+
+* :class:`~repro.islands.policy.MigrationPolicy` — the declarative
+  exchange rule: topology (ring / fully-connected / star), cadence in
+  checkpoint epochs, elite selection (crowding distance / non-dominated
+  rank / seeded random) and worst-k replacement with torsion-grid dedup;
+* :class:`~repro.islands.policy.IslandPlan` — the per-cell materialised
+  view (which island a cell is, who its neighbours are) carried by
+  :class:`~repro.runtime.spec.CellSpec`;
+* :class:`~repro.islands.broker.MigrationBroker` — the exchange itself,
+  riding the run store: emigrant packets are npz files next to the
+  checkpoints, immigrants are absorbed at checkpoint boundaries, and
+  every event is journaled deterministically (coordinate-derived seeds)
+  so a killed and re-drained campaign replays the identical ledger.
+
+Cells never talk directly; the daemon and executor gained no new IPC.
+With ``MigrationPolicy.none()`` (or no migration block at all) campaign
+results are bit-identical to fully independent cells.
+"""
+
+from repro.islands.broker import MigrationBroker, WaitingForPackets
+from repro.islands.policy import (
+    REPLACEMENTS,
+    SELECTIONS,
+    TOPOLOGIES,
+    IslandPlan,
+    MigrationPolicy,
+    migration_seed,
+    select_emigrants,
+)
+
+__all__ = [
+    "MigrationBroker",
+    "WaitingForPackets",
+    "IslandPlan",
+    "MigrationPolicy",
+    "TOPOLOGIES",
+    "SELECTIONS",
+    "REPLACEMENTS",
+    "migration_seed",
+    "select_emigrants",
+]

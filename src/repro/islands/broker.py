@@ -1,0 +1,298 @@
+"""The migration broker: island exchange riding the run store.
+
+Cells of an archipelago never talk to each other directly — there is no
+socket, queue or shared memory between workers.  At every migration
+boundary a cell *emits* its elite members as a small npz packet written
+next to its checkpoints (``shards/shard-XXXX/migration/epoch-NNNN.npz``),
+and *absorbs* the packets its source islands wrote for the same epoch.
+The broker is the only component that touches those files, so the
+executor and the daemon gain zero new IPC: coordination is entirely
+files-in-a-store, the same transport checkpoints already use.
+
+Determinism and crash safety:
+
+* a packet for epoch *e* is emitted from the island's pre-absorption state
+  at the boundary, so packets depend only on earlier epochs — no circular
+  dependency within an epoch, and packet contents are a pure function of
+  the campaign (by induction over epochs);
+* packets are written once and never rewritten (re-emission after a crash
+  finds the file and skips), absorption is a deterministic fold over the
+  source packets, and every event is recorded in an idempotent per-epoch
+  JSON file whose content carries no timestamps — so a killed and
+  re-drained campaign reproduces the byte-identical migration ledger;
+* if a source packet is missing the broker raises
+  :class:`WaitingForPackets` — the cell checkpoints and parks itself as
+  *waiting*; a later drain pass resumes it at the boundary once its
+  neighbours have caught up.  Progress is always possible because every
+  island can reach (and emit at) epoch *e* using only epoch ``< e``
+  packets.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.geometry.vectors import angle_difference
+from repro.islands.policy import IslandPlan, select_emigrants
+from repro.moscem.decoys import TorsionGrid
+from repro.moscem.dominance import strength_fitness
+from repro.utils.fileio import write_bytes_atomic, write_json_atomic
+
+__all__ = ["MigrationBroker", "WaitingForPackets"]
+
+#: Arrays every emigrant packet carries.
+PACKET_ARRAYS = ("indices", "torsions", "coords", "closure", "scores")
+
+
+class WaitingForPackets(RuntimeError):
+    """Source packets for a migration epoch are not on disk yet."""
+
+    def __init__(self, missing: Sequence[int], epoch: int) -> None:
+        self.missing = tuple(int(m) for m in missing)
+        self.epoch = int(epoch)
+        super().__init__(
+            f"epoch {self.epoch} packets missing from shard(s) "
+            f"{list(self.missing)}"
+        )
+
+
+def _shard_migration_dir(store, run_id: str, shard: int) -> Path:
+    return Path(store.shard_dir(run_id, shard)) / "migration"
+
+
+class MigrationBroker:
+    """Reads and writes migration packets and events of one run."""
+
+    def __init__(self, store, run_id: str) -> None:
+        self.store = store
+        self.run_id = run_id
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def packet_path(self, shard: int, epoch: int) -> Path:
+        """The npz emigrant packet of ``shard`` at ``epoch``."""
+        return (
+            _shard_migration_dir(self.store, self.run_id, shard)
+            / f"epoch-{int(epoch):04d}.npz"
+        )
+
+    def event_path(self, shard: int, epoch: int) -> Path:
+        """The JSON event record of ``shard`` at ``epoch``."""
+        return (
+            _shard_migration_dir(self.store, self.run_id, shard)
+            / f"epoch-{int(epoch):04d}.json"
+        )
+
+    # ------------------------------------------------------------------
+    # Packets
+    # ------------------------------------------------------------------
+
+    def has_packet(self, shard: int, epoch: int) -> bool:
+        """Whether ``shard`` has emitted its packet for ``epoch``."""
+        return self.packet_path(shard, epoch).is_file()
+
+    def write_packet(
+        self, shard: int, epoch: int, arrays: Dict[str, np.ndarray]
+    ) -> bool:
+        """Persist an emigrant packet; returns False if one already exists.
+
+        Packets are immutable: a cell re-reaching a boundary after a crash
+        replays the identical selection, so keeping the first write is both
+        safe and what makes emission idempotent.
+        """
+        path = self.packet_path(shard, epoch)
+        if path.is_file():
+            return False
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer, **{name: np.asarray(arrays[name]) for name in PACKET_ARRAYS}
+        )
+        write_bytes_atomic(path, buffer.getvalue())
+        return True
+
+    def read_packet(self, shard: int, epoch: int) -> Dict[str, np.ndarray]:
+        """Load the emigrant packet of ``shard`` at ``epoch``."""
+        path = self.packet_path(shard, epoch)
+        with np.load(path) as data:
+            return {name: np.array(data[name]) for name in PACKET_ARRAYS}
+
+    # ------------------------------------------------------------------
+    # Events and the ledger
+    # ------------------------------------------------------------------
+
+    def has_event(self, shard: int, epoch: int) -> bool:
+        """Whether ``shard`` has recorded its event for ``epoch``."""
+        return self.event_path(shard, epoch).is_file()
+
+    def write_event(self, shard: int, epoch: int, record: Dict[str, Any]) -> None:
+        """Atomically (re)write the event record — idempotent by determinism."""
+        write_json_atomic(self.event_path(shard, epoch), record)
+
+    def read_event(self, shard: int, epoch: int) -> Dict[str, Any]:
+        """Load one event record."""
+        import json
+
+        return json.loads(self.event_path(shard, epoch).read_text())
+
+    def ledger(self) -> List[Dict[str, Any]]:
+        """Every migration event of the run, sorted by (epoch, shard).
+
+        The ledger is the deterministic record of the archipelago: two
+        campaigns with the same spec — interrupted or not — produce
+        identical ledgers.
+        """
+        import json
+
+        shards_root = Path(self.store.run_dir(self.run_id)) / "shards"
+        events: List[Tuple[int, int, Dict[str, Any]]] = []
+        if not shards_root.is_dir():
+            return []
+        for event_file in sorted(shards_root.glob("*/migration/epoch-*.json")):
+            record = json.loads(event_file.read_text())
+            events.append((int(record["epoch"]), int(record["shard"]), record))
+        events.sort(key=lambda item: (item[0], item[1]))
+        return [record for _epoch, _shard, record in events]
+
+    # ------------------------------------------------------------------
+    # The migration step
+    # ------------------------------------------------------------------
+
+    def migrate(self, state, plan: IslandPlan, epoch: int) -> Dict[str, Any]:
+        """Run one full migration boundary for a cell: emit, then absorb.
+
+        ``state`` is the live :class:`~repro.moscem.sampler.SamplerState`
+        at the boundary.  Emits this island's packet (pre-absorption
+        population, idempotent), then absorbs the source islands' packets
+        for the same epoch — raising :class:`WaitingForPackets` if any is
+        missing, in which case the state is untouched.  On success the
+        population has its worst members replaced by the deduplicated
+        immigrants, the event is recorded on disk, journaled to the store,
+        and returned.
+        """
+        policy = plan.policy
+        shard = plan.shard
+        seed = plan.event_seed(epoch)
+        rng = np.random.default_rng(seed)
+
+        if not self.has_packet(shard, epoch):
+            indices = select_emigrants(
+                state.population.scores, policy.elite_k, policy.selection, rng
+            )
+            self.write_packet(shard, epoch, state.emit_emigrants(indices))
+
+        sources = plan.source_shards()
+        missing = [s for s in sources if not self.has_packet(s, epoch)]
+        if missing:
+            raise WaitingForPackets(missing, epoch)
+
+        record = self._absorb(state, plan, epoch, seed, sources)
+        self.write_event(shard, epoch, record)
+        journal = dict(record)
+        journal["type"] = "migration"
+        self.store.append_journal(self.run_id, journal)
+        return record
+
+    def _absorb(
+        self,
+        state,
+        plan: IslandPlan,
+        epoch: int,
+        seed: int,
+        sources: Tuple[int, ...],
+    ) -> Dict[str, Any]:
+        """Fold the source packets into the population; returns the record."""
+        policy = plan.policy
+        population = state.population
+        threshold = (
+            policy.distinctness_threshold
+            if policy.distinctness_threshold is not None
+            else constants.DECOY_DISTINCTNESS_THRESHOLD
+        )
+
+        # Residents indexed once through the torsion cell list: only the
+        # grid neighbourhood of an immigrant can violate the "every torsion
+        # within the threshold" condition (same guarantee DecoySet relies
+        # on), so dedup touches O(neighbours) residents.
+        grid = TorsionGrid(threshold, population.torsions.shape[1])
+        for index in range(population.size):
+            grid.add(index, population.torsions[index])
+
+        def _duplicate(torsions: np.ndarray, accepted: List[np.ndarray]) -> bool:
+            for index in grid.candidates(torsions):
+                deviation = np.abs(
+                    angle_difference(torsions, population.torsions[index])
+                )
+                if float(np.max(deviation)) < threshold:
+                    return True
+            for other in accepted:
+                deviation = np.abs(angle_difference(torsions, other))
+                if float(np.max(deviation)) < threshold:
+                    return True
+            return False
+
+        accepted_torsions: List[np.ndarray] = []
+        accepted_rows: List[Dict[str, Any]] = []
+        immigrant_arrays: Dict[str, List[np.ndarray]] = {
+            "torsions": [],
+            "coords": [],
+            "closure": [],
+            "scores": [],
+        }
+        per_source: List[Dict[str, Any]] = []
+        rejected = 0
+        for source in sources:
+            packet = self.read_packet(source, epoch)
+            offered = int(packet["torsions"].shape[0])
+            taken = 0
+            for row in range(offered):
+                torsions = packet["torsions"][row]
+                if _duplicate(torsions, accepted_torsions):
+                    rejected += 1
+                    continue
+                accepted_torsions.append(torsions)
+                accepted_rows.append({"source_shard": int(source), "row": row})
+                for name in immigrant_arrays:
+                    immigrant_arrays[name].append(packet[name][row])
+                taken += 1
+            per_source.append(
+                {"shard": int(source), "offered": offered, "accepted": taken}
+            )
+
+        # Replacement: worst residents first (highest strength fitness,
+        # ties by ascending index — stable sort over the negated fitness).
+        n_accepted = len(accepted_rows)
+        if n_accepted:
+            fitness = strength_fitness(population.scores)
+            worst_order = np.argsort(-fitness, kind="stable")
+            slots = np.asarray(worst_order[:n_accepted], dtype=np.int64)
+            state.absorb_immigrants(
+                {
+                    name: np.stack(rows)
+                    for name, rows in immigrant_arrays.items()
+                },
+                slots,
+            )
+            for entry, slot in zip(accepted_rows, slots):
+                entry["slot"] = int(slot)
+
+        return {
+            "epoch": int(epoch),
+            "iteration": int(state.iteration),
+            "shard": int(plan.shard),
+            "island": int(plan.island_index),
+            "group": plan.group,
+            "topology": policy.topology,
+            "selection": policy.selection,
+            "elite_k": int(policy.elite_k),
+            "seed": int(seed),
+            "sources": per_source,
+            "accepted": accepted_rows,
+            "rejected_duplicates": int(rejected),
+        }

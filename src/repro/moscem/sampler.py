@@ -86,6 +86,47 @@ class SamplerState:
                 )
             rng.bit_generator.state = state
 
+    # ------------------------------------------------------------------
+    # Island-migration hooks (see :mod:`repro.islands`)
+    # ------------------------------------------------------------------
+
+    def emit_emigrants(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        """Copy the members at ``indices`` into an emigrant packet.
+
+        Returns independent array copies (torsions, coordinates, closure
+        atoms, scores), so the packet stays valid however the population
+        evolves afterwards.  Selection policy lives in
+        :mod:`repro.islands.policy`; this hook is a dumb row gather.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        population = self.population
+        return {
+            "indices": indices.copy(),
+            "torsions": population.torsions[indices].copy(),
+            "coords": population.coords[indices].copy(),
+            "closure": population.closure[indices].copy(),
+            "scores": population.scores[indices].copy(),
+        }
+
+    def absorb_immigrants(
+        self, arrays: Dict[str, np.ndarray], slots: np.ndarray
+    ) -> None:
+        """Overwrite the members at ``slots`` with immigrant rows.
+
+        The fitness vector is invalidated (set to ``None``) rather than
+        patched: every consumer — the next :meth:`MOSCEMSampler.step`, the
+        finalisation — recomputes it from the scores, and an explicit
+        ``None`` round-trips through checkpoints identically to the live
+        in-memory state, keeping resumed trajectories bit-identical.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        population = self.population
+        population.torsions[slots] = arrays["torsions"]
+        population.coords[slots] = arrays["coords"]
+        population.closure[slots] = arrays["closure"]
+        population.scores[slots] = arrays["scores"]
+        population.fitness = None
+
 
 @dataclass
 class SamplingResult:

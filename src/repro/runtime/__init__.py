@@ -27,9 +27,11 @@ from repro.runtime.checkpoint import (
     CheckpointError,
     has_checkpoint,
     load_checkpoint,
+    load_checkpoint_extra,
     save_checkpoint,
 )
 from repro.runtime.executor import (
+    PersistentPool,
     ShardExecutor,
     ShardFailure,
     parallel_map,
@@ -51,7 +53,9 @@ __all__ = [
     "CheckpointError",
     "has_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_extra",
     "save_checkpoint",
+    "PersistentPool",
     "ShardExecutor",
     "ShardFailure",
     "parallel_map",

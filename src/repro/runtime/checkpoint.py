@@ -43,6 +43,7 @@ __all__ = [
     "has_checkpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_extra",
 ]
 
 #: Version stamp of the checkpoint layout.
@@ -145,6 +146,28 @@ def _load_payload(paths: Dict[str, Path]) -> Dict[str, Any]:
             "hash (partial write or corruption) — refusing to resume"
         )
     return payload
+
+
+def load_checkpoint_extra(directory: Union[str, Path]) -> Dict[str, Any]:
+    """The ``extra`` metadata of the checkpoint in ``directory``.
+
+    Returns ``{}`` when no checkpoint manifest exists.  Reads the JSON
+    only — no array hash verification — so callers that just need the
+    bookkeeping fields (e.g. the migration-epoch counter the executor
+    stores alongside the state) pay no npz scan; the arrays are verified
+    when :func:`load_checkpoint` restores the state proper.
+    """
+    paths = checkpoint_paths(Path(directory))
+    if not paths["json"].is_file():
+        return {}
+    try:
+        payload = json.loads(paths["json"].read_text())
+    except (ValueError, OSError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint manifest {paths['json']}: {exc}"
+        ) from exc
+    extra = payload.get("extra", {})
+    return dict(extra) if isinstance(extra, dict) else {}
 
 
 def load_checkpoint(

@@ -11,7 +11,10 @@ a pipe buffer.  Workers keep a process-level cache of assembled scoring
 stacks keyed by ``(target, block size)`` (targets and knowledge bases are
 already cached underneath), so a worker that executes many cells — or
 drains many campaigns in one daemon batch — pays the table-building cost
-once per target rather than once per trajectory.
+once per target rather than once per trajectory.  A
+:class:`PersistentPool` keeps the same worker processes alive across
+*calls*, which is how the daemon extends those caches from one drain pass
+to its whole lifetime.
 
 Execution of one cell:
 
@@ -22,8 +25,14 @@ Execution of one cell:
 3. run the sampler, checkpointing every ``checkpoint_every`` iterations and
    updating the cell's status document (the live progress ``repro-batch
    status`` / ``repro-campaign status`` read);
-4. harvest the structurally distinct non-dominated decoys and write the
-   cell result.
+4. for cells of a migrating archipelago (see :mod:`repro.islands`), at
+   every migration boundary the cell emits its emigrant packet and absorbs
+   its neighbours'; if a neighbour has not emitted yet, the cell
+   checkpoints and returns a *waiting* summary — it stays pending in the
+   store, and a later pass resumes it at the boundary.  Nothing about this
+   is new IPC: packets, events and checkpoints all ride the run store;
+5. harvest the structurally distinct non-dominated decoys and write the
+   cell result (appending a ``cell-done`` event to the store journal).
 
 :func:`parallel_map` is the shared fan-out primitive; the experiment runner
 and the campaign daemon reuse it.
@@ -32,18 +41,27 @@ and the campaign daemon reuse it.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
+from repro.islands.broker import MigrationBroker, WaitingForPackets
 from repro.moscem.decoys import DecoySet
-from repro.runtime.checkpoint import has_checkpoint, load_checkpoint, save_checkpoint
+from repro.runtime.checkpoint import (
+    has_checkpoint,
+    load_checkpoint,
+    load_checkpoint_extra,
+    save_checkpoint,
+)
 from repro.runtime.spec import Campaign, CellSpec, RunSpec, ShardSpec, shard_name
 from repro.runtime.store import RunStore
 from repro.utils.logging import get_logger
 
 __all__ = [
+    "PersistentPool",
     "ShardExecutor",
     "ShardFailure",
     "parallel_map",
@@ -62,11 +80,88 @@ class ShardFailure(RuntimeError):
     """One or more shards of a run failed."""
 
 
+class _MigrationWait(Exception):
+    """A cell reached a migration boundary whose source packets are missing.
+
+    Internal control flow of :func:`run_cell`: raised out of the sampler's
+    ``on_iteration`` hook after the cell has checkpointed at the boundary,
+    and converted into a ``waiting`` summary (the cell keeps no process
+    state — a later pass resumes it from the boundary checkpoint).
+    """
+
+    def __init__(self, epoch: int, missing, iteration: int) -> None:
+        self.epoch = int(epoch)
+        self.missing = tuple(int(m) for m in missing)
+        self.iteration = int(iteration)
+        super().__init__(f"waiting for epoch {epoch} packets from {missing}")
+
+
+class PersistentPool:
+    """A process pool surviving across :func:`parallel_map` calls.
+
+    Passing one of these as ``pool=`` makes consecutive maps reuse the
+    same worker processes, so the per-worker caches (targets, knowledge
+    bases, assembled scoring stacks) accumulate across calls — the daemon
+    holds one for its whole lifetime instead of rebuilding the pool every
+    drain pass.  The underlying executor is created lazily and rebuilt on
+    the next use after :meth:`reset` (e.g. when a worker crash broke it).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 1:
+            raise ValueError("a persistent pool needs workers > 1")
+        self.workers = int(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live pool, created on first use."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def reset(self) -> None:
+        """Discard the pool (broken or not); the next use builds a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight work."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _submit_and_wait(
+    executor: ProcessPoolExecutor,
+    fn: Callable[[_T], _R],
+    items: List[_T],
+    results: List[Any],
+    on_result: Optional[Callable[[int, _R], None]],
+) -> None:
+    futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = futures[future]
+            results[index] = future.result()
+            if on_result is not None:
+                on_result(index, results[index])
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     workers: int,
     on_result: Optional[Callable[[int, _R], None]] = None,
+    pool: Optional[PersistentPool] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``items`` across worker processes, in input order.
 
@@ -75,6 +170,8 @@ def parallel_map(
     tracebacks direct and avoids pool start-up for trivial batches.
     ``on_result`` is called as ``(index, result)`` the moment an item
     finishes — out of order — which is what streams per-shard progress.
+    ``pool`` supplies a :class:`PersistentPool` to reuse across calls; by
+    default a throwaway pool is built and torn down per call.
     """
     items = list(items)
     results: List[Any] = [None] * len(items)
@@ -87,17 +184,19 @@ def parallel_map(
                 on_result(index, results[index])
         return results
 
+    if pool is not None:
+        try:
+            _submit_and_wait(pool.executor(), fn, items, results, on_result)
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; drop it so the
+            # caller's next map builds a healthy pool.
+            pool.reset()
+            raise
+        return results
+
     max_workers = min(workers, len(items))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = futures[future]
-                results[index] = future.result()
-                if on_result is not None:
-                    on_result(index, results[index])
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        _submit_and_wait(executor, fn, items, results, on_result)
     return results
 
 
@@ -146,10 +245,13 @@ def _build_sampler(cell: CellSpec):
 
 
 def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
-    """Execute (or resume) one cell to completion; returns its summary.
+    """Execute (or resume) one cell; returns its summary.
 
     Runs inside a worker process, but is equally callable inline — the
     executor with ``workers=1`` and the tests use the same code path.
+    Cells of a migrating archipelago may return a ``waiting`` summary
+    instead of completing: the cell checkpointed at a migration boundary
+    whose source packets are not on disk yet, and a later pass resumes it.
     """
     index = cell.index
     shard_dir = store.shard_dir(cell.run_id, index)
@@ -158,51 +260,156 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         return store.load_shard_summary(cell.run_id, index)
 
     sampler = _build_sampler(cell)
+
+    plan = cell.migration
+    migrating = (
+        plan is not None
+        and plan.period(cell.checkpoint_every) > 0
+        and plan.n_epochs(cell.checkpoint_every, cell.config.iterations) > 0
+        and bool(plan.source_shards())
+    )
+    broker = MigrationBroker(store, cell.run_id) if migrating else None
+    period = plan.period(cell.checkpoint_every) if migrating else 0
+    n_epochs = (
+        plan.n_epochs(cell.checkpoint_every, cell.config.iterations)
+        if migrating
+        else 0
+    )
+
     state = None
     resumed_from = None
+    epochs_absorbed = 0
     if has_checkpoint(shard_dir):
         state = load_checkpoint(shard_dir, sampler)
         resumed_from = state.iteration
+        if migrating:
+            epochs_absorbed = int(
+                load_checkpoint_extra(shard_dir).get("migration_epochs", 0)
+            )
+
+    # Status writes replace the whole document, so the failure-attempt
+    # counter must be carried through every rewrite — otherwise a cell
+    # that fails *after* this first write would reset its count each try
+    # and the daemon's max-attempts parking could never trigger.
+    attempts = int(
+        store.read_shard_status(cell.run_id, index).get("attempts", 0)
+    )
+
+    def _status_fields(**fields: Any) -> Dict[str, Any]:
+        base = {
+            "pid": os.getpid(),
+            "iterations": cell.config.iterations,
+            "target": cell.target,
+            "backend": cell.backend,
+            "seed": cell.seed,
+            "resumed_from": resumed_from,
+            "attempts": attempts,
+        }
+        if migrating:
+            base["migration_epochs"] = epochs_absorbed
+        base.update(fields)
+        return base
+
+    def _checkpoint_extra() -> Dict[str, Any]:
+        extra = {"run_id": cell.run_id, "shard": index, "target": cell.target}
+        if migrating:
+            extra["migration_epochs"] = epochs_absorbed
+        return extra
 
     store.write_shard_status(
         cell.run_id,
         index,
         state="running",
-        pid=os.getpid(),
-        iteration=0 if state is None else state.iteration,
-        iterations=cell.config.iterations,
-        target=cell.target,
-        backend=cell.backend,
-        seed=cell.seed,
-        resumed_from=resumed_from,
+        **_status_fields(iteration=0 if state is None else state.iteration),
     )
 
+    def _maybe_migrate(live_state) -> bool:
+        """Run the migration boundary at the live iteration, if one is due.
+
+        Returns True when a (post-absorption) checkpoint was written, so
+        the caller skips the plain periodic checkpoint for this iteration.
+        Raises :class:`_MigrationWait` after checkpointing when source
+        packets are missing.
+        """
+        nonlocal epochs_absorbed
+        if not migrating or epochs_absorbed >= n_epochs:
+            return False
+        boundary = (epochs_absorbed + 1) * period
+        if live_state.iteration < boundary:
+            return False
+        if live_state.iteration > boundary:
+            raise RuntimeError(
+                f"{cell.run_id}/{cell.name}: iteration {live_state.iteration} "
+                f"passed migration boundary {boundary} without absorbing "
+                "(corrupt checkpoint metadata?)"
+            )
+        epoch = epochs_absorbed + 1
+        try:
+            broker.migrate(live_state, plan, epoch)
+        except WaitingForPackets as blocked:
+            # Park the cell: checkpoint the pre-absorption state at the
+            # boundary (the packet it emitted is already on disk) and
+            # bubble a wait out of the sampler loop.
+            save_checkpoint(shard_dir, live_state, extra=_checkpoint_extra())
+            store.write_shard_status(
+                cell.run_id,
+                index,
+                state="waiting",
+                **_status_fields(
+                    iteration=live_state.iteration,
+                    migration_epoch=epoch,
+                    waiting_on=list(blocked.missing),
+                ),
+            )
+            raise _MigrationWait(epoch, blocked.missing, live_state.iteration)
+        epochs_absorbed = epoch
+        save_checkpoint(shard_dir, live_state, extra=_checkpoint_extra())
+        store.write_shard_status(
+            cell.run_id,
+            index,
+            state="running",
+            **_status_fields(
+                iteration=live_state.iteration,
+                checkpoint_iteration=live_state.iteration,
+            ),
+        )
+        return True
+
     def _on_iteration(live_state) -> None:
+        if _maybe_migrate(live_state):
+            return
         if (
             cell.checkpoint_every > 0
             and live_state.iteration % cell.checkpoint_every == 0
             and live_state.iteration < cell.config.iterations
         ):
-            save_checkpoint(
-                shard_dir,
-                live_state,
-                extra={"run_id": cell.run_id, "shard": index, "target": cell.target},
-            )
+            save_checkpoint(shard_dir, live_state, extra=_checkpoint_extra())
             store.write_shard_status(
                 cell.run_id,
                 index,
                 state="running",
-                pid=os.getpid(),
-                iteration=live_state.iteration,
-                iterations=cell.config.iterations,
-                target=cell.target,
-                backend=cell.backend,
-                seed=cell.seed,
-                resumed_from=resumed_from,
-                checkpoint_iteration=live_state.iteration,
+                **_status_fields(
+                    iteration=live_state.iteration,
+                    checkpoint_iteration=live_state.iteration,
+                ),
             )
 
-    result = sampler.run(seed=cell.seed, state=state, on_iteration=_on_iteration)
+    try:
+        if state is not None:
+            # A cell parked at a boundary resumes *on* it: absorb (or wait
+            # again) before stepping further.
+            _maybe_migrate(state)
+        result = sampler.run(seed=cell.seed, state=state, on_iteration=_on_iteration)
+    except _MigrationWait as blocked:
+        return {
+            "run_id": cell.run_id,
+            "shard": index,
+            "target": cell.target,
+            "waiting": True,
+            "iteration": blocked.iteration,
+            "migration_epoch": blocked.epoch,
+            "waiting_on": list(blocked.missing),
+        }
     decoys = result.distinct_non_dominated(trajectory=index)
 
     summary = {
@@ -216,6 +423,7 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         "seed": cell.seed,
         "iterations": cell.config.iterations,
         "resumed_from": resumed_from,
+        "migration_epochs": epochs_absorbed,
         # For resumed cells this covers only the final segment (the time
         # before the interruption died with the interrupted process).
         "wall_seconds": result.wall_seconds,
@@ -238,14 +446,19 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         cell.run_id,
         index,
         state="done",
-        pid=os.getpid(),
-        iteration=cell.config.iterations,
-        iterations=cell.config.iterations,
-        target=cell.target,
-        backend=cell.backend,
-        seed=cell.seed,
-        resumed_from=resumed_from,
-        n_decoys=len(decoys),
+        **_status_fields(
+            iteration=cell.config.iterations, n_decoys=len(decoys)
+        ),
+    )
+    store.append_journal(
+        cell.run_id,
+        {
+            "type": "cell-done",
+            "shard": index,
+            "target": cell.target,
+            "n_decoys": len(decoys),
+            "time": time.time(),
+        },
     )
     summary["n_decoys"] = len(decoys)
     return summary
@@ -281,6 +494,16 @@ def _cell_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                 error=str(exc),
                 detail=detail,
                 attempts=attempts + 1,
+            )
+            store.append_journal(
+                cell.run_id,
+                {
+                    "type": "cell-failed",
+                    "shard": cell.index,
+                    "target": cell.target,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "time": time.time(),
+                },
             )
         except OSError:
             pass
@@ -325,24 +548,25 @@ class ShardExecutor:
         results on disk are skipped (their stored summaries are returned),
         which is what makes ``execute`` double as *resume*: a killed run
         re-executes only its unfinished cells, each continuing from its
-        latest checkpoint.  Raises :class:`ShardFailure` if any cell errors.
+        latest checkpoint.  Migrating campaigns are driven in passes: a
+        cell parked at a migration boundary rejoins the next pass once its
+        neighbours have emitted — the loop ends when every cell completed
+        or no pass makes progress (which, with all islands schedulable,
+        cannot happen; it guards subsetted ``indices``).  Raises
+        :class:`ShardFailure` if any cell errors.
         """
         if indices is None:
             indices = range(spec.n_trajectories)
         workers = self.workers if self.workers is not None else spec.workers
-        pending = []
-        done = []
+        summaries: Dict[int, Dict[str, Any]] = {}
+        pending: List[int] = []
         for index in indices:
+            index = int(index)
             if self.store.has_shard_result(spec.run_id, index):
-                done.append(int(index))
+                summaries[index] = self.store.load_shard_summary(spec.run_id, index)
                 self._emit(f"{spec.run_id}/{shard_name(index)}: already complete")
             else:
-                pending.append(
-                    {
-                        "store_root": str(self.store.root),
-                        "cell": spec.cell(int(index)).to_dict(),
-                    }
-                )
+                pending.append(index)
         self._emit(
             f"{spec.run_id}: {len(pending)} shard(s) to run on "
             f"{min(workers, max(len(pending), 1))} worker(s)"
@@ -352,6 +576,12 @@ class ShardExecutor:
             shard = shard_name(summary.get("shard", -1))
             if "error" in summary:
                 self._emit(f"{spec.run_id}/{shard}: FAILED {summary['error']}")
+            elif summary.get("waiting"):
+                self._emit(
+                    f"{spec.run_id}/{shard}: waiting at migration epoch "
+                    f"{summary.get('migration_epoch')} for packet(s) from "
+                    f"shard(s) {summary.get('waiting_on')}"
+                )
             else:
                 resumed = summary.get("resumed_from")
                 suffix = f" (resumed from iter {resumed})" if resumed else ""
@@ -361,18 +591,53 @@ class ShardExecutor:
                     f"{summary.get('n_decoys', 0)} decoys{suffix}"
                 )
 
-        fresh = parallel_map(_cell_task, pending, workers, on_result=_report)
-        failures = [s for s in fresh if "error" in s]
-        if failures:
-            raise ShardFailure(
-                f"{len(failures)} shard(s) of run {spec.run_id!r} failed: "
-                + "; ".join(
-                    f"shard {s['shard']}: {s['error']}" for s in failures
+        previous_signature = None
+        while pending:
+            payloads = [
+                {
+                    "store_root": str(self.store.root),
+                    "cell": spec.cell(index).to_dict(),
+                }
+                for index in pending
+            ]
+            fresh = parallel_map(_cell_task, payloads, workers, on_result=_report)
+            failures = [s for s in fresh if "error" in s]
+            if failures:
+                raise ShardFailure(
+                    f"{len(failures)} shard(s) of run {spec.run_id!r} failed: "
+                    + "; ".join(
+                        f"shard {s['shard']}: {s['error']}" for s in failures
+                    )
+                )
+            waiting = [s for s in fresh if s.get("waiting")]
+            for summary in fresh:
+                if not summary.get("waiting"):
+                    summaries[int(summary["shard"])] = summary
+            if not waiting:
+                break
+            signature = tuple(
+                sorted(
+                    (
+                        int(s["shard"]),
+                        int(s.get("iteration", -1)),
+                        int(s.get("migration_epoch", -1)),
+                    )
+                    for s in waiting
                 )
             )
-        summaries = {s["shard"]: s for s in fresh}
-        for index in done:
-            summaries[index] = self.store.load_shard_summary(spec.run_id, index)
+            progressed = (
+                len(waiting) < len(pending) or signature != previous_signature
+            )
+            if not progressed:
+                blocked = ", ".join(
+                    f"shard {s['shard']} on {s.get('waiting_on')}" for s in waiting
+                )
+                raise ShardFailure(
+                    f"run {spec.run_id!r} cannot make migration progress "
+                    f"({blocked}); are all islands of each group scheduled?"
+                )
+            previous_signature = signature
+            pending = sorted(int(s["shard"]) for s in waiting)
         return [summaries[i] for i in sorted(summaries)]
 
     def merge(self, run_id: str, distinct_only: bool = False) -> DecoySet:

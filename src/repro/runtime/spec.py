@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import RuntimeConfig, SamplingConfig
+from repro.islands.policy import IslandPlan, MigrationPolicy
 from repro.utils.rng import RandomStreams, stable_name_key
 
 __all__ = [
@@ -135,6 +136,9 @@ class CellSpec:
     config_name: str = "config"
     seed_index: int = 0
     checkpoint_every: int = _RUNTIME_DEFAULTS.checkpoint_every
+    #: Materialised island-migration plan, or ``None`` for an independent
+    #: cell (the default — and today's behaviour, bit-identically).
+    migration: Optional[IslandPlan] = None
 
     @property
     def name(self) -> str:
@@ -142,14 +146,23 @@ class CellSpec:
         return shard_name(self.index)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-ready)."""
+        """Plain-dict form (JSON-ready).
+
+        The ``migration`` key is omitted for independent cells, so cell
+        tables of pre-island manifests round-trip byte-identically.
+        """
         payload = dataclasses.asdict(self)
         payload["config"] = dataclasses.asdict(self.config)
+        if self.migration is None:
+            payload.pop("migration", None)
+        else:
+            payload["migration"] = self.migration.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CellSpec":
         """Rebuild from :meth:`to_dict` output."""
+        migration = payload.get("migration")
         return cls(
             run_id=str(payload["run_id"]),
             index=int(payload["index"]),
@@ -161,6 +174,9 @@ class CellSpec:
             seed_index=int(payload.get("seed_index", 0)),
             checkpoint_every=int(
                 payload.get("checkpoint_every", _RUNTIME_DEFAULTS.checkpoint_every)
+            ),
+            migration=(
+                None if migration is None else IslandPlan.from_dict(migration)
             ),
         )
 
@@ -372,6 +388,15 @@ class Campaign:
         Iterations between cell checkpoints (0 disables).
     workers:
         Worker processes the executor should use.
+    migration:
+        Optional :class:`~repro.islands.policy.MigrationPolicy` turning the
+        replicates of each ``(target, config, backend)`` workload group —
+        the seeds axis — into a cooperating archipelago.  ``None`` or
+        ``MigrationPolicy.none()`` keeps every cell fully independent
+        (bit-identical to pre-island campaigns).  Migration lives here, on
+        the campaign, deliberately *not* in :class:`SamplingConfig`: cell
+        seeds derive from workload coordinates only, so toggling migration
+        never changes which trajectories the grid runs.
     """
 
     campaign_id: str
@@ -382,6 +407,7 @@ class Campaign:
     base_seed: int = 0
     checkpoint_every: int = _RUNTIME_DEFAULTS.checkpoint_every
     workers: int = _RUNTIME_DEFAULTS.workers
+    migration: Optional[MigrationPolicy] = None
 
     def __post_init__(self) -> None:
         if not _RUN_ID_PATTERN.match(self.campaign_id):
@@ -434,6 +460,27 @@ class Campaign:
         )
         object.__setattr__(self, "backends", tuple(self.backends))
         object.__setattr__(self, "_config_by_name", dict(self.configs))
+        if self.migration is not None:
+            if not isinstance(self.migration, MigrationPolicy):
+                raise TypeError(
+                    "campaign migration must be a MigrationPolicy (or None)"
+                )
+            if self.migration.enabled and len(self.seeds) >= 2:
+                if self.checkpoint_every <= 0:
+                    raise ValueError(
+                        "island migration rides the checkpoint cadence; "
+                        "set checkpoint_every > 0 (or disable migration)"
+                    )
+                in_degree = self.migration.max_in_degree(len(self.seeds))
+                for name, config in self.configs:
+                    if self.migration.elite_k * in_degree >= config.population_size:
+                        raise ValueError(
+                            f"config {name!r}: up to "
+                            f"{self.migration.elite_k * in_degree} immigrants "
+                            f"per exchange would overwhelm a population of "
+                            f"{config.population_size}; lower elite_k or "
+                            "grow the population"
+                        )
 
     # ------------------------------------------------------------------
     # Grid expansion
@@ -469,6 +516,34 @@ class Campaign:
             self.backends[b],
         )
 
+    def _island_plan(self, index: int) -> Optional[IslandPlan]:
+        """The migration plan of the cell at flat index ``index``.
+
+        Islands are the *seeds* axis of one workload group — the cells
+        sharing a target, config and backend.  A single-replicate group
+        has nobody to exchange with, so its cells stay independent.
+        """
+        if self.migration is None or not self.migration.enabled:
+            return None
+        n_islands = len(self.seeds)
+        if n_islands < 2:
+            return None
+        rest, b = divmod(index, len(self.backends))
+        group_base, s = divmod(rest, n_islands)
+        target, config_name, _seed, backend = self.coordinates(index)
+        peers = tuple(
+            (group_base * n_islands + peer_s) * len(self.backends) + b
+            for peer_s in range(n_islands)
+        )
+        return IslandPlan(
+            policy=self.migration,
+            island_index=s,
+            n_islands=n_islands,
+            group=f"{target}|{config_name}|{backend}",
+            peers=peers,
+            base_seed=self.base_seed,
+        )
+
     def cell(self, index: int) -> CellSpec:
         """Materialise the cell at flat index ``index``."""
         target, config_name, seed_label, backend = self.coordinates(index)
@@ -483,6 +558,7 @@ class Campaign:
             config_name=config_name,
             seed_index=seed_label,
             checkpoint_every=self.checkpoint_every,
+            migration=self._island_plan(index),
         )
 
     def cells(self) -> List[CellSpec]:
@@ -507,8 +583,12 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-ready)."""
-        return {
+        """Plain-dict form (JSON-ready).
+
+        The ``migration`` key is omitted when unset, so pre-island
+        manifests round-trip byte-identically.
+        """
+        payload = {
             "campaign_id": self.campaign_id,
             "targets": list(self.targets),
             "configs": [
@@ -521,10 +601,14 @@ class Campaign:
             "checkpoint_every": self.checkpoint_every,
             "workers": self.workers,
         }
+        if self.migration is not None:
+            payload["migration"] = self.migration.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Campaign":
         """Rebuild from :meth:`to_dict` output."""
+        migration = payload.get("migration")
         return cls(
             campaign_id=str(payload["campaign_id"]),
             targets=tuple(payload["targets"]),
@@ -537,6 +621,9 @@ class Campaign:
             base_seed=int(payload["base_seed"]),
             checkpoint_every=int(payload["checkpoint_every"]),
             workers=int(payload["workers"]),
+            migration=(
+                None if migration is None else MigrationPolicy.from_dict(migration)
+            ),
         )
 
 

@@ -165,6 +165,70 @@ class RunStore:
             raise RunStoreError(f"invalid manifest for run {run_id!r}: {exc}") from exc
 
     # ------------------------------------------------------------------
+    # Event journal
+    # ------------------------------------------------------------------
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def journal_path(self, run_id: str) -> Path:
+        """The append-only event journal of a run."""
+        return self.run_dir(run_id) / self.JOURNAL_NAME
+
+    def append_journal(self, run_id: str, record: Dict[str, Any]) -> None:
+        """Append one event record to the run's journal.
+
+        The journal is the *subscription* surface: workers append
+        ``cell-done`` / ``cell-failed`` / ``migration`` events as they
+        happen, and :meth:`CampaignHandle.watch` tails it instead of
+        re-reading every cell's status document per poll tick.  Each
+        record is one JSON line written in a single ``write`` call —
+        well under ``PIPE_BUF``, so concurrent workers never interleave
+        partial lines on POSIX.  The journal is an event *stream*, not
+        the ledger: retried cells may append duplicate events, and a
+        worker killed at the wrong instant may never append at all, so
+        consumers must treat it as a hint and fall back to the store's
+        ground truth (result files, migration event records).
+        """
+        path = self.journal_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write(line)
+
+    def read_journal(
+        self, run_id: str, offset: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Events appended at or after byte ``offset``; returns a new offset.
+
+        Only complete lines are consumed — a line still being appended is
+        left for the next call, so tailing the journal never sees a torn
+        record.  Feed the returned offset back in to resume the tail.
+        """
+        path = self.journal_path(run_id)
+        if not path.is_file():
+            return [], offset
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+        records: List[Dict[str, Any]] = []
+        consumed = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break
+            consumed += len(raw)
+            text = raw.strip()
+            if not text:
+                continue
+            try:
+                records.append(json.loads(text.decode("utf8")))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise RunStoreError(
+                    f"corrupt journal line in {path} at offset "
+                    f"{offset + consumed - len(raw)}: {exc}"
+                ) from exc
+        return records, offset + consumed
+
+    # ------------------------------------------------------------------
     # Cancellation
     # ------------------------------------------------------------------
 

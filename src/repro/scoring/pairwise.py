@@ -240,6 +240,18 @@ def binned_table_sum(
 ) -> np.ndarray:
     """Per-member sum of table values selected by squared-distance binning.
 
+    A fused gather-and-accumulate pass: per block, the searchsorted output
+    is turned *in place* into flat indices over the ravelled table (bin
+    clamp, then per-pair row offsets), gathered with :func:`numpy.take`
+    into one buffer reused across blocks, and row-reduced into the totals.
+    Nothing of shape ``(P, n_pairs)`` is ever materialised, and per block
+    the only fresh temporaries are the squared distances and the index
+    array itself — no separate clipped-bin copy, no ``table[rows, bins]``
+    fancy-index matrix.  Bin decisions, gathered values and the reduction
+    are exactly those of the two-step ``searchsorted`` + row-lookup path
+    (see ``tests/unit/test_pairwise.py``), so the fusion is bit-identical
+    for every block size.
+
     Parameters
     ----------
     points:
@@ -259,12 +271,24 @@ def binned_table_sum(
     totals = np.zeros(pop, dtype=np.float64)
     if first.size == 0:
         return totals
-    rows = np.arange(first.size)[None, :]
+    n_cols = pair_tables.shape[1]
+    flat_tables = np.ascontiguousarray(pair_tables, dtype=np.float64).ravel()
+    row_offsets = np.arange(first.size, dtype=np.intp) * n_cols
+    step = resolve_block_size(block_size, pop)
+    gathered = np.empty((step, first.size), dtype=np.float64)
     for block in population_blocks(pop, block_size):
         sq_d = indexed_sq_distances(points[block], points[block], first, second)
-        bins = bin_squared_distances(sq_d, sq_edges)
+        # Same bin rule as bin_squared_distances, fused in place: values in
+        # [edge[k], edge[k+1]) land in bin k, everything at or beyond the
+        # last edge in the overflow column n_cols - 1.
+        indices = np.searchsorted(sq_edges, sq_d, side="right")
+        indices -= 1
+        np.clip(indices, 0, n_cols - 1, out=indices)
+        indices += row_offsets
+        buffer = gathered[: indices.shape[0]]
+        np.take(flat_tables, indices, out=buffer)
         # Chunk-size-invariant row reduction (see indexed_penalty_sum).
-        totals[block] = np.einsum("pk->p", pair_tables[rows, bins])
+        totals[block] = np.einsum("pk->p", buffer)
     return totals
 
 

@@ -226,6 +226,39 @@ class TestKillAndRedrain:
         assert report.executed == 1 and report.failed == 0
         assert handle.status().complete
 
+    def test_mid_run_failures_accumulate_attempts(self, store_root):
+        """Failures *after* the cell's first status write (mid-sampler)
+        must still accumulate attempts — the running-status rewrite may
+        not reset the counter, or parking could never trigger."""
+        store = RunStore(store_root)
+        Session(store).submit(
+            _smoke_campaign(campaign_id="midrun", targets="1cex(40:51)", seeds=1)
+        )
+        original = executor_module._build_sampler
+
+        def dying_after_status_write(cell_):
+            sampler = original(cell_)
+
+            def step(state, host_ledger=None):
+                raise RuntimeError("dies mid-run")
+
+            sampler.step = step
+            return sampler
+
+        executor_module._build_sampler = dying_after_status_write
+        try:
+            for attempt in (1, 2):
+                report = drain_once(store, workers=1, progress=lambda _l: None)
+                assert report.failed == 1
+                assert store.read_shard_status("midrun", 0)["attempts"] == attempt
+            report = drain_once(
+                store, workers=1, progress=lambda _l: None, max_attempts=2
+            )
+            assert report.skipped_exhausted == 1
+            assert report.idle
+        finally:
+            executor_module._build_sampler = original
+
     def test_failed_pass_is_not_idle(self, store_root):
         store = RunStore(store_root)
         Session(store).submit(
@@ -308,6 +341,7 @@ class TestCampaignCLI:
         assert campaign_main(["--store", store_root, "cancel", "cli-smoke"]) == 0
         assert "cancelled" in capsys.readouterr().out
         assert daemon_main(["--store", store_root, "--drain-once"]) == 0
-        assert "drained 0 cell(s), 0 failure(s), 2 cancelled-pending skipped" in (
-            capsys.readouterr().out
-        )
+        assert (
+            "drained 0 cell(s), 0 failure(s), 0 waiting on migration, "
+            "2 cancelled-pending skipped"
+        ) in capsys.readouterr().out

@@ -1,0 +1,504 @@
+"""Unit tests of the island-migration subsystem.
+
+Covers the policy layer (validation, topologies, emigrant selection), the
+sampler's emit/absorb hooks, the store-backed broker (packets, events,
+dedup, the waiting protocol), the campaign wiring (island plans, manifest
+round trips, validation), the store journal with ``watch()``/``wait()``,
+and the persistent worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import Session, campaign
+from repro.api.daemon import drain_once
+from repro.config import SamplingConfig
+from repro.islands import (
+    IslandPlan,
+    MigrationBroker,
+    MigrationPolicy,
+    WaitingForPackets,
+    migration_seed,
+    select_emigrants,
+)
+from repro.moscem.metropolis import TemperatureSchedule
+from repro.moscem.population import Population
+from repro.moscem.sampler import SamplerState
+from repro.runtime import PersistentPool, RunStore, parallel_map
+from repro.runtime.spec import Campaign, CampaignManifest, CellSpec
+
+SMOKE_CONFIG = SamplingConfig(population_size=16, n_complexes=4, iterations=6)
+
+
+# ---------------------------------------------------------------------------
+# MigrationPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestMigrationPolicy:
+    def test_defaults_are_disabled(self):
+        assert not MigrationPolicy().enabled
+        assert not MigrationPolicy.none().enabled
+        assert MigrationPolicy(topology="ring").enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "mesh"},
+            {"selection": "best"},
+            {"replacement": "random"},
+            {"cadence": 0},
+            {"elite_k": 0},
+            {"distinctness_threshold": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MigrationPolicy(**kwargs)
+
+    def test_ring_sources(self):
+        policy = MigrationPolicy(topology="ring")
+        assert policy.sources(0, 4) == (3,)
+        assert policy.sources(2, 4) == (1,)
+        assert policy.max_in_degree(4) == 1
+
+    def test_fully_connected_sources(self):
+        policy = MigrationPolicy(topology="fully-connected")
+        assert policy.sources(1, 4) == (0, 2, 3)
+        assert policy.max_in_degree(4) == 3
+
+    def test_star_sources(self):
+        policy = MigrationPolicy(topology="star")
+        assert policy.sources(0, 4) == (1, 2, 3)  # the hub hears every spoke
+        assert policy.sources(3, 4) == (0,)
+        assert policy.max_in_degree(4) == 3
+
+    def test_single_island_has_no_sources(self):
+        assert MigrationPolicy(topology="ring").sources(0, 1) == ()
+        assert MigrationPolicy.none().sources(0, 4) == ()
+
+    def test_round_trip(self):
+        policy = MigrationPolicy(
+            topology="star", cadence=3, elite_k=5, selection="rank"
+        )
+        assert MigrationPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown migration keys"):
+            MigrationPolicy.from_dict({"topology": "ring", "size": 3})
+
+    def test_migration_seed_depends_on_every_coordinate(self):
+        base = migration_seed(0, "t|c|b", 0, 1)
+        assert migration_seed(0, "t|c|b", 0, 1) == base
+        assert migration_seed(1, "t|c|b", 0, 1) != base
+        assert migration_seed(0, "t2|c|b", 0, 1) != base
+        assert migration_seed(0, "t|c|b", 1, 1) != base
+        assert migration_seed(0, "t|c|b", 0, 2) != base
+
+
+class TestSelectEmigrants:
+    def test_rank_takes_lowest_fitness(self):
+        # Member 3 dominates everything; members 0-2 form the rest.
+        scores = np.array([[2.0, 2.0], [3.0, 3.0], [4.0, 1.5], [1.0, 1.0]])
+        chosen = select_emigrants(scores, 1, "rank")
+        assert list(chosen) == [3]
+
+    def test_crowding_prefers_front_boundaries(self):
+        # A 4-point front: the two extreme members carry inf crowding.
+        scores = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        chosen = select_emigrants(scores, 2, "crowding")
+        assert set(chosen) == {0, 3}
+
+    def test_crowding_fills_past_a_small_front(self):
+        # One member dominates all: the front has a single member, the
+        # remaining slots fill by ascending fitness.
+        scores = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [4.0, 4.0]])
+        chosen = select_emigrants(scores, 3, "crowding")
+        assert chosen[0] == 0
+        assert len(chosen) == 3
+        assert len(set(chosen.tolist())) == 3
+
+    def test_random_is_deterministic_per_seed(self):
+        scores = np.arange(20, dtype=np.float64).reshape(10, 2)
+        a = select_emigrants(scores, 4, "random", np.random.default_rng(7))
+        b = select_emigrants(scores, 4, "random", np.random.default_rng(7))
+        c = select_emigrants(scores, 4, "random", np.random.default_rng(8))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_random_requires_generator(self):
+        with pytest.raises(ValueError, match="seeded generator"):
+            select_emigrants(np.zeros((4, 2)), 2, "random")
+
+    def test_k_clipped_to_population(self):
+        scores = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert len(select_emigrants(scores, 10, "rank")) == 2
+        assert len(select_emigrants(scores, 0, "rank")) == 0
+
+
+# ---------------------------------------------------------------------------
+# SamplerState hooks
+# ---------------------------------------------------------------------------
+
+
+def _make_state(n: int = 6, n_residues: int = 4, seed: int = 0) -> SamplerState:
+    rng = np.random.default_rng(seed)
+    population = Population(
+        torsions=rng.uniform(-np.pi, np.pi, size=(n, 2 * n_residues)),
+        coords=rng.normal(size=(n, n_residues, 4, 3)),
+        closure=rng.normal(size=(n, 3, 3)),
+        scores=rng.uniform(size=(n, 3)),
+        fitness=rng.uniform(size=n),
+    )
+    return SamplerState(
+        iteration=2,
+        population=population,
+        schedule=TemperatureSchedule(temperature=1.0),
+        mutation_rng=np.random.default_rng(1),
+        metropolis_rng=np.random.default_rng(2),
+    )
+
+
+class TestSamplerHooks:
+    def test_emit_returns_independent_copies(self):
+        state = _make_state()
+        packet = state.emit_emigrants(np.array([0, 2]))
+        assert packet["torsions"].shape[0] == 2
+        assert np.array_equal(packet["indices"], [0, 2])
+        packet["torsions"][:] = 99.0
+        assert not np.any(state.population.torsions == 99.0)
+
+    def test_absorb_replaces_slots_and_invalidates_fitness(self):
+        state = _make_state()
+        donor = _make_state(seed=5)
+        arrays = donor.emit_emigrants(np.array([1]))
+        state.absorb_immigrants(
+            {k: arrays[k] for k in ("torsions", "coords", "closure", "scores")},
+            np.array([4]),
+        )
+        assert np.array_equal(
+            state.population.torsions[4], donor.population.torsions[1]
+        )
+        assert np.array_equal(
+            state.population.scores[4], donor.population.scores[1]
+        )
+        assert state.population.fitness is None
+
+
+# ---------------------------------------------------------------------------
+# MigrationBroker
+# ---------------------------------------------------------------------------
+
+
+def _ring_plan(n_islands: int = 3, island: int = 0, **policy_kwargs) -> IslandPlan:
+    policy_kwargs.setdefault("topology", "ring")
+    return IslandPlan(
+        policy=MigrationPolicy(**policy_kwargs),
+        island_index=island,
+        n_islands=n_islands,
+        group="t|c|b",
+        peers=tuple(range(n_islands)),
+        base_seed=11,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = RunStore(tmp_path / "store")
+    for shard in range(3):
+        store.shard_dir("run", shard).mkdir(parents=True)
+    return store
+
+
+class TestMigrationBroker:
+    def test_packet_round_trip_and_immutability(self, store):
+        broker = MigrationBroker(store, "run")
+        state = _make_state()
+        packet = state.emit_emigrants(np.array([0, 1]))
+        assert broker.write_packet(0, 1, packet)
+        loaded = broker.read_packet(0, 1)
+        for name in ("indices", "torsions", "coords", "closure", "scores"):
+            assert np.array_equal(loaded[name], packet[name])
+        # Packets are immutable: a replay keeps the first write.
+        other = state.emit_emigrants(np.array([2, 3]))
+        assert not broker.write_packet(0, 1, other)
+        assert np.array_equal(broker.read_packet(0, 1)["indices"], [0, 1])
+
+    def test_migrate_waits_without_touching_state(self, store):
+        broker = MigrationBroker(store, "run")
+        state = _make_state()
+        before = state.population.torsions.copy()
+        with pytest.raises(WaitingForPackets) as blocked:
+            broker.migrate(state, _ring_plan(island=0), 1)
+        assert blocked.value.missing == (2,)  # ring: island 0 hears island 2
+        # The emigrant packet went out even though absorption blocked.
+        assert broker.has_packet(0, 1)
+        assert np.array_equal(state.population.torsions, before)
+
+    def test_migrate_absorbs_and_records(self, store):
+        broker = MigrationBroker(store, "run")
+        donor = _make_state(seed=3)
+        broker.write_packet(2, 1, donor.emit_emigrants(np.array([0, 1])))
+        state = _make_state(seed=4)
+        record = broker.migrate(state, _ring_plan(island=0, elite_k=2), 1)
+        assert record["epoch"] == 1
+        assert record["sources"] == [{"shard": 2, "offered": 2, "accepted": 2}]
+        assert len(record["accepted"]) == 2
+        slots = [entry["slot"] for entry in record["accepted"]]
+        for entry, row in zip(record["accepted"], (0, 1)):
+            assert np.array_equal(
+                state.population.torsions[entry["slot"]],
+                donor.population.torsions[row],
+            )
+        assert len(set(slots)) == len(slots)
+        # The event is on disk and in the ledger.
+        assert broker.has_event(0, 1)
+        assert broker.read_event(0, 1) == record
+        ledger = broker.ledger()
+        assert len(ledger) == 1 and ledger[0] == record
+        # ... and journaled.
+        events, _offset = store.read_journal("run")
+        assert [e["type"] for e in events] == ["migration"]
+
+    def test_duplicate_immigrants_rejected(self, store):
+        broker = MigrationBroker(store, "run")
+        state = _make_state(seed=4)
+        # The donor offers a clone of a resident: within the threshold of
+        # the resident population, so it must be deduplicated away.
+        clone = state.emit_emigrants(np.array([0, 1]))
+        broker.write_packet(2, 1, clone)
+        before = state.population.torsions.copy()
+        record = broker.migrate(state, _ring_plan(island=0, elite_k=2), 1)
+        assert record["rejected_duplicates"] == 2
+        assert record["accepted"] == []
+        assert np.array_equal(state.population.torsions, before)
+
+    def test_ledger_sorted_by_epoch_then_shard(self, store):
+        broker = MigrationBroker(store, "run")
+        for shard, epoch in ((2, 1), (0, 2), (1, 1), (0, 1)):
+            broker.write_event(
+                shard, epoch, {"epoch": epoch, "shard": shard, "accepted": []}
+            )
+        order = [(e["epoch"], e["shard"]) for e in broker.ledger()]
+        assert order == [(1, 0), (1, 1), (1, 2), (2, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Campaign wiring
+# ---------------------------------------------------------------------------
+
+
+def _grid(**overrides):
+    defaults = dict(
+        campaign_id="isl",
+        targets="1cex(40:51)",
+        configs={"tiny": SMOKE_CONFIG},
+        seeds=3,
+        backends="gpu",
+        base_seed=7,
+        checkpoint_every=2,
+        workers=1,
+        migration=MigrationPolicy(topology="ring"),
+    )
+    defaults.update(overrides)
+    return campaign(
+        defaults.pop("campaign_id"),
+        defaults.pop("targets"),
+        defaults.pop("configs"),
+        **defaults,
+    )
+
+
+class TestCampaignWiring:
+    def test_island_plans_cover_the_seeds_axis(self):
+        grid = _grid(targets=["1cex(40:51)", "1akz(181:192)"])
+        for cell in grid.cells():
+            plan = cell.migration
+            assert plan is not None
+            assert plan.n_islands == 3
+            assert plan.shard == cell.index
+            assert plan.group == f"{cell.target}|{cell.config_name}|{cell.backend}"
+            # Every peer shares the cell's workload coordinates.
+            for peer in plan.peers:
+                peer_cell = grid.cell(peer)
+                assert peer_cell.target == cell.target
+                assert peer_cell.config_name == cell.config_name
+                assert peer_cell.backend == cell.backend
+            assert [grid.cell(p).seed_index for p in plan.peers] == [0, 1, 2]
+
+    def test_policy_none_or_single_seed_keeps_cells_independent(self):
+        assert all(
+            c.migration is None
+            for c in _grid(migration=MigrationPolicy.none()).cells()
+        )
+        assert all(c.migration is None for c in _grid(seeds=1).cells())
+        assert all(c.migration is None for c in _grid(migration=None).cells())
+
+    def test_migration_requires_checkpointing(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            _grid(checkpoint_every=0)
+
+    def test_overwhelming_elite_k_rejected(self):
+        with pytest.raises(ValueError, match="overwhelm"):
+            _grid(
+                migration=MigrationPolicy(topology="fully-connected", elite_k=8)
+            )
+
+    def test_builder_accepts_topology_string_and_mapping(self):
+        assert _grid(migration="ring").migration == MigrationPolicy(topology="ring")
+        grid = _grid(migration={"topology": "star", "elite_k": 1})
+        assert grid.migration.topology == "star"
+        assert grid.migration.elite_k == 1
+
+    def test_manifest_round_trip_preserves_plans(self):
+        grid = _grid()
+        manifest = CampaignManifest.from_dict(
+            json.loads(json.dumps(grid.manifest().to_dict()))
+        )
+        assert manifest.spec == grid
+        assert manifest.spec.cells() == grid.cells()
+
+    def test_pre_island_manifests_still_load(self):
+        plain = _grid(migration=None)
+        payload = plain.manifest().to_dict()
+        assert "migration" not in payload["spec"]
+        for cell in payload["cells"]:
+            assert "migration" not in cell
+        assert CampaignManifest.from_dict(payload).spec == plain
+
+    def test_cellspec_round_trip(self):
+        cell = _grid().cell(1)
+        rebuilt = CellSpec.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert rebuilt == cell
+        assert rebuilt.migration.source_shards() == (0,)
+
+    def test_plan_epoch_arithmetic(self):
+        plan = _ring_plan()
+        assert plan.period(2) == 2
+        assert plan.n_epochs(2, 6) == 2  # boundaries at 2 and 4, not 6
+        assert plan.n_epochs(2, 7) == 3
+        assert plan.n_epochs(0, 100) == 0
+        assert IslandPlan(
+            policy=MigrationPolicy(topology="ring", cadence=3),
+            island_index=0,
+            n_islands=2,
+            group="g",
+            peers=(0, 1),
+        ).period(5) == 15
+
+
+# ---------------------------------------------------------------------------
+# Store journal + watch()/wait()
+# ---------------------------------------------------------------------------
+
+
+class TestStoreJournal:
+    def test_append_and_offset_resume(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append_journal("run", {"type": "a", "n": 1})
+        store.append_journal("run", {"type": "b", "n": 2})
+        records, offset = store.read_journal("run")
+        assert [r["type"] for r in records] == ["a", "b"]
+        # Nothing new: same offset, no records.
+        again, offset2 = store.read_journal("run", offset)
+        assert again == [] and offset2 == offset
+        store.append_journal("run", {"type": "c"})
+        fresh, _ = store.read_journal("run", offset)
+        assert [r["type"] for r in fresh] == ["c"]
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert RunStore(tmp_path).read_journal("nope") == ([], 0)
+
+    def test_torn_tail_line_left_for_next_read(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append_journal("run", {"type": "a"})
+        path = store.journal_path("run")
+        with open(path, "a") as handle:
+            handle.write('{"type": "part')  # no newline: append in flight
+        records, offset = store.read_journal("run")
+        assert [r["type"] for r in records] == ["a"]
+        with open(path, "a") as handle:
+            handle.write('ial"}\n')
+        rest, _ = store.read_journal("run", offset)
+        assert [r["type"] for r in rest] == ["partial"]
+
+
+class TestWatchAndWait:
+    def test_watch_replays_events_and_terminates(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        grid = _grid(migration=None, seeds=2)
+        handle = Session(store).submit(grid)
+        drain_once(store, workers=1, progress=lambda _l: None)
+        events = list(handle.watch(timeout=10.0, poll_seconds=0.01))
+        assert sum(1 for e in events if e["type"] == "cell-done") == 2
+        assert handle.wait(timeout=10.0, poll_seconds=0.01).complete
+
+    def test_watch_includes_migration_events(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        handle = Session(store).submit(_grid(seeds=2))
+        while not handle.status().complete:
+            drain_once(store, workers=1, progress=lambda _l: None)
+        kinds = {e["type"] for e in handle.watch(timeout=10.0, poll_seconds=0.01)}
+        assert kinds == {"cell-done", "migration"}
+
+    def test_watch_times_out_on_pending_campaign(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        handle = Session(store).submit(_grid(migration=None, seeds=2))
+        events = list(handle.watch(timeout=0.2, poll_seconds=0.01))
+        assert events == []
+        assert not handle.status().complete
+
+    def test_watch_deadline_binds_while_events_flow(self, tmp_path):
+        """An expired deadline terminates the generator even when every
+        read returns fresh records (a busy campaign must not extend the
+        caller's timeout)."""
+        store = RunStore(tmp_path / "store")
+        handle = Session(store).submit(_grid(migration=None, seeds=2))
+        for n in range(5):
+            store.append_journal("isl", {"type": "note", "n": n})
+        events = list(handle.watch(timeout=0.0, poll_seconds=0.01))
+        # The already-appended backlog is yielded, then the deadline binds
+        # immediately despite the campaign being incomplete.
+        assert [e["n"] for e in events] == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# PersistentPool
+# ---------------------------------------------------------------------------
+
+
+def _worker_pid(_item) -> int:
+    return os.getpid()
+
+
+class TestPersistentPool:
+    def test_workers_survive_across_maps(self):
+        with PersistentPool(2) as pool:
+            first = set(parallel_map(_worker_pid, range(8), 2, pool=pool))
+            second = set(parallel_map(_worker_pid, range(8), 2, pool=pool))
+        assert first == second
+        assert os.getpid() not in first
+
+    def test_fresh_pool_per_call_without_pool(self):
+        first = set(parallel_map(_worker_pid, range(4), 2))
+        second = set(parallel_map(_worker_pid, range(4), 2))
+        assert not (first & second)
+
+    def test_reset_builds_new_workers(self):
+        pool = PersistentPool(2)
+        try:
+            first = set(parallel_map(_worker_pid, range(4), 2, pool=pool))
+            pool.reset()
+            second = set(parallel_map(_worker_pid, range(4), 2, pool=pool))
+            assert not (first & second)
+        finally:
+            pool.close()
+
+    def test_requires_multiple_workers(self):
+        with pytest.raises(ValueError):
+            PersistentPool(1)
