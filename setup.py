@@ -28,6 +28,7 @@ setup(
             "repro-experiments=repro.cli:experiments_main",
             "repro-sample=repro.cli:sample_main",
             "repro-batch=repro.cli:batch_main",
+            "repro-lint=repro.lint.cli:main",
         ],
         # The component registries (repro.api.registry) scan these groups,
         # so other distributions can contribute backends/scorers by name.

@@ -9,7 +9,7 @@ log file) plus a Markdown variant for inclusion in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 __all__ = ["TextTable", "render_rows", "format_seconds", "format_fraction"]
 

@@ -11,7 +11,7 @@ These helpers turn raw sampler output into the numbers the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Type
+from typing import Any, Dict, List, Mapping, Sequence, Type
 
 from repro.analysis.reporting import TextTable
 from repro.config import SamplingConfig

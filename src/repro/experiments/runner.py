@@ -15,7 +15,6 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.base import (
     EXPERIMENT_REGISTRY,
-    Experiment,
     ExperimentResult,
     Scale,
     get_experiment,

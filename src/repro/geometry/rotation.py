@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry.vectors import normalize
+from repro.utils.rng import spawn_rng
 
 __all__ = [
     "axis_angle_matrix",
@@ -153,7 +154,7 @@ def random_rotation_matrix(rng: Optional[np.random.Generator] = None) -> np.ndar
 
     Used by tests to verify rotational invariance of RMSD and scoring.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else spawn_rng(None)
     # Shoemake's method via a random unit quaternion.
     u1, u2, u3 = rng.random(3)
     q = np.array(

@@ -1,0 +1,81 @@
+"""Atomic file-write helpers — the one sanctioned durable-write path.
+
+Every durable artefact of the runtime layer (manifests, status documents,
+checkpoints, decoy arrays, migration packets) is written through a sibling
+temp file and an atomic ``os.replace``, so readers in other processes only
+ever observe a complete previous version or a complete new one — never a
+partial write.  Centralised here so crash-durability improvements (e.g.
+fsync before the rename) apply everywhere at once.
+
+This module is the *only* place in the tree allowed to open files for
+writing inside the runtime, islands and api subsystems: the ``repro-lint``
+rule **REP002** (see :mod:`repro.lint.rules.io`) flags any ``open(...,
+"w")``, ``write_text`` / ``write_bytes`` or direct ``np.save*``-to-path
+call there, which is what keeps kill-at-any-instant crash safety an
+invariant instead of a convention.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = [
+    "atomic_write",
+    "write_json_atomic",
+    "write_bytes_atomic",
+    "write_npz_atomic",
+]
+
+
+def atomic_write(path: Union[str, Path], write_fn: Callable[[Path], None]) -> None:
+    """Run ``write_fn`` against a sibling temp file, then rename atomically."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        write_fn(tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def write_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """Atomically replace ``path`` with ``payload`` rendered as JSON.
+
+    Keys are sorted so the byte content is a pure function of the payload —
+    two processes writing the same document produce identical files, which
+    is what the byte-equality replay tests compare.
+    """
+    atomic_write(
+        path,
+        lambda tmp: tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)),
+    )
+
+
+def write_bytes_atomic(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    atomic_write(path, lambda tmp: tmp.write_bytes(data))
+
+
+def write_npz_atomic(
+    path: Union[str, Path], arrays: Mapping[str, np.ndarray]
+) -> bytes:
+    """Atomically replace ``path`` with ``arrays`` as a compressed ``npz``.
+
+    The arrays are serialised into memory first, so the bytes on disk are
+    exactly the returned blob — callers that record a content hash next to
+    the file (the checkpoint writer) hash the return value instead of
+    re-reading what they just wrote.
+    """
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **dict(arrays))
+    blob = buffer.getvalue()
+    write_bytes_atomic(path, blob)
+    return blob

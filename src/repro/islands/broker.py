@@ -30,7 +30,6 @@ Determinism and crash safety:
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Tuple
 
@@ -38,10 +37,10 @@ import numpy as np
 
 from repro import constants
 from repro.geometry.vectors import angle_difference
+from repro.io import write_json_atomic, write_npz_atomic
 from repro.islands.policy import IslandPlan, select_emigrants
 from repro.moscem.decoys import TorsionGrid
 from repro.moscem.dominance import strength_fitness
-from repro.utils.fileio import write_bytes_atomic, write_json_atomic
 
 __all__ = ["MigrationBroker", "WaitingForPackets"]
 
@@ -110,11 +109,9 @@ class MigrationBroker:
         path = self.packet_path(shard, epoch)
         if path.is_file():
             return False
-        buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer, **{name: np.asarray(arrays[name]) for name in PACKET_ARRAYS}
+        write_npz_atomic(
+            path, {name: np.asarray(arrays[name]) for name in PACKET_ARRAYS}
         )
-        write_bytes_atomic(path, buffer.getvalue())
         return True
 
     def read_packet(self, shard: int, epoch: int) -> Dict[str, np.ndarray]:

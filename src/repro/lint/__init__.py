@@ -1,0 +1,45 @@
+"""``repro-lint``: AST-based determinism & invariant checking.
+
+Every subsystem of this repo stakes its correctness on a handful of
+repo-wide invariants — coordinate-derived seeds only, atomic store
+writes, byte-identical ledger replay, no dense (P, P) materialisation in
+kernels, versioned checkpoint schemas.  Property tests catch violations
+*after* they corrupt a run; this package catches them at diff time, as
+machine-checked rules over the Python AST:
+
+========  ====================================================
+REP001    naked RNG outside the sanctioned seed-derivation sites
+REP002    non-atomic file writes bypassing :mod:`repro.io`
+REP003    non-deterministic iteration/serialisation ordering
+REP004    wall-clock readings inside replay-compared payloads
+REP005    dense quadratic materialisation in kernel hot paths
+REP006    checkpoint-schema drift without a version bump
+========  ====================================================
+
+Use :func:`run_lint` programmatically, the ``repro-lint`` console script
+from a shell or CI, and ``# repro-lint: disable=REPxxx`` comments (with a
+justification) to suppress a finding at a specific line.  See
+``CONTRIBUTING.md`` for the rationale behind each rule.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import (
+    Finding,
+    LintError,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.lint.rules import RULES, get_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "RULES",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "run_lint",
+]

@@ -1,0 +1,117 @@
+"""``repro-lint`` — the command-line front end of the determinism linter.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — no unsuppressed findings;
+* ``1`` — at least one unsuppressed finding;
+* ``2`` — the run itself failed (unreadable file, syntax error, bad args).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.config import load_config
+from repro.lint.engine import Finding, LintError, lint_paths
+from repro.lint.rules import get_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism linter for the repro codebase: seeded "
+            "RNG, atomic writes, ordered iteration, wall-clock hygiene, "
+            "streaming hot paths, checkpoint schema pinning."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by repro-lint: disable comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--pyproject",
+        default="pyproject.toml",
+        help="pyproject.toml holding [tool.repro-lint] overrides",
+    )
+    return parser
+
+
+def _report(findings: List[Finding], fmt: str, show_suppressed: bool) -> None:
+    visible = [f for f in findings if show_suppressed or not f.suppressed]
+    if fmt == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                        "suppressed": f.suppressed,
+                    }
+                    for f in visible
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return
+    for finding in visible:
+        print(finding.render())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        config = load_config(args.pyproject)
+        findings = lint_paths(args.paths, config)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    _report(findings, args.format, args.show_suppressed)
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if unsuppressed:
+        suppressed_count = len(findings) - len(unsuppressed)
+        tail = f" ({suppressed_count} suppressed)" if suppressed_count else ""
+        print(
+            f"repro-lint: {len(unsuppressed)} finding(s){tail}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Repo-level configuration of the lint rules.
+
+The defaults below *are* the repo policy: which subtrees each rule
+patrols, which modules are sanctioned exceptions (the seed-derivation
+sites, the atomic-write helper) and the pinned checkpoint-schema digest
+that rule REP006 compares against.  A ``[tool.repro-lint]`` table in
+``pyproject.toml`` can extend the allowlists or disable rules wholesale::
+
+    [tool.repro-lint]
+    disable = ["REP005"]
+
+    [tool.repro-lint.REP001]
+    allow = ["repro/experiments/fuzzing.py"]
+
+Paths are package-relative POSIX prefixes (``repro/runtime/``) or full
+module paths (``repro/utils/rng.py``); they match against the path
+suffix starting at the ``repro`` package directory, so the same config
+works no matter where the checkout lives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "RuleConfig",
+    "LintConfig",
+    "DEFAULT_RULE_CONFIG",
+    "CHECKPOINT_SCHEMA",
+    "load_config",
+    "package_relpath",
+]
+
+
+#: The pinned checkpoint serialisation schema rule REP006 enforces.
+#: ``npz`` lists the array keys of ``checkpoint.npz``; ``json`` the keys
+#: of ``checkpoint.json``.  Adding, removing or renaming a field in
+#: :mod:`repro.runtime.checkpoint` without updating this pin **and**
+#: bumping ``CHECKPOINT_FORMAT_VERSION`` fails the lint — on-disk schema
+#: changes must be conscious, versioned decisions, or resumed runs break.
+CHECKPOINT_SCHEMA: Dict[str, Any] = {
+    "format_version": 1,
+    "npz": (
+        "acceptance_history",
+        "closure",
+        "coords",
+        "fitness",
+        "scores",
+        "temperature_history",
+        "torsions",
+    ),
+    "json": (
+        "extra",
+        "format_version",
+        "iteration",
+        "npz_sha256",
+        "rng",
+        "seed",
+        "temperature",
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule policy: where it patrols and which modules are exempt."""
+
+    #: Path prefixes the rule applies to; ``()`` means the whole tree.
+    scope: Tuple[str, ...] = ()
+    #: Path prefixes exempt from the rule (sanctioned implementation sites).
+    allow: Tuple[str, ...] = ()
+    enabled: bool = True
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether the rule patrols the module at package-relative ``relpath``."""
+        if not self.enabled:
+            return False
+        if self.scope and not any(relpath.startswith(p) for p in self.scope):
+            return False
+        return not any(relpath.startswith(p) for p in self.allow)
+
+
+#: The repo policy, rule by rule.
+DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
+    # RNG entropy may only be drawn through the SeedSequence-derivation
+    # sites; everything else must receive a Generator from its caller.
+    "REP001": RuleConfig(
+        allow=(
+            "repro/utils/rng.py",
+            "repro/runtime/spec.py",
+            "repro/islands/policy.py",
+        )
+    ),
+    # Durable writes in the store-backed subsystems must go through the
+    # atomic helpers of repro/io.py (which lives outside the scope).
+    "REP002": RuleConfig(
+        scope=("repro/runtime/", "repro/islands/", "repro/api/"),
+    ),
+    # Deterministic ordering everywhere; the serialisation half of the
+    # rule (json.dumps needs sort_keys=True) patrols the store-backed
+    # subsystems plus the shared IO helper.
+    "REP003": RuleConfig(),
+    # Wall-clock readings may never reach replay-compared payloads.  The
+    # modules listed in WALLCLOCK_FREE_MODULES must be wall-clock free in
+    # their entirety; elsewhere only payload call sites are patrolled.
+    "REP004": RuleConfig(
+        scope=("repro/runtime/", "repro/islands/", "repro/api/"),
+    ),
+    # Kernel hot paths must stream through the pairwise chunking helpers
+    # instead of materialising dense (P, P) intermediates.
+    "REP005": RuleConfig(
+        scope=("repro/scoring/", "repro/moscem/", "repro/simt/"),
+    ),
+    # Checkpoint-schema drift gate; patrols exactly one module.
+    "REP006": RuleConfig(scope=("repro/runtime/checkpoint.py",)),
+}
+
+#: Modules that must contain no wall-clock reading at all (REP004): their
+#: outputs are replay-compared byte-for-byte.
+WALLCLOCK_FREE_MODULES: Tuple[str, ...] = (
+    "repro/runtime/checkpoint.py",
+    "repro/islands/broker.py",
+    "repro/islands/policy.py",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """The resolved configuration the engine runs with."""
+
+    rules: Mapping[str, RuleConfig] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_RULE_CONFIG)
+    )
+    wallclock_free: Tuple[str, ...] = WALLCLOCK_FREE_MODULES
+    checkpoint_schema: Mapping[str, Any] = dataclasses.field(
+        default_factory=lambda: dict(CHECKPOINT_SCHEMA)
+    )
+
+    def rule(self, code: str) -> RuleConfig:
+        """The policy of rule ``code`` (default-enabled if unlisted)."""
+        return self.rules.get(code, RuleConfig())
+
+
+def package_relpath(path: Union[str, Path]) -> str:
+    """Path suffix starting at the ``repro`` package directory.
+
+    ``/checkout/src/repro/runtime/store.py`` → ``repro/runtime/store.py``.
+    Paths outside the package (fixtures, scratch files) are returned as
+    given, so synthetic test filenames like ``repro/runtime/x.py`` work.
+    """
+    posix = Path(path).as_posix()
+    marker = "/repro/"
+    index = posix.rfind(marker)
+    if index >= 0:
+        return posix[index + 1 :]
+    return posix.lstrip("/")
+
+
+def _as_tuple(value: Any, context: str) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ValueError(f"{context} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def load_config(pyproject: Optional[Union[str, Path]] = None) -> LintConfig:
+    """Resolve the lint configuration, merging ``[tool.repro-lint]``.
+
+    ``pyproject`` names a TOML file to read overrides from; ``None``
+    (or a missing file, or a Python without :mod:`tomllib`) yields the
+    built-in defaults.  Overrides may ``disable`` rules and *extend*
+    per-rule ``allow`` / ``scope`` lists — the built-in policy cannot be
+    silently narrowed, only explicitly relaxed where the table says so.
+    """
+    rules = dict(DEFAULT_RULE_CONFIG)
+    if pyproject is None:
+        return LintConfig(rules=rules)
+    path = Path(pyproject)
+    if not path.is_file():
+        return LintConfig(rules=rules)
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: defaults only
+        return LintConfig(rules=rules)
+    with open(path, "rb") as handle:
+        table = tomllib.load(handle).get("tool", {}).get("repro-lint", {})
+    for code in _as_tuple(table.get("disable", ()), "repro-lint disable"):
+        base = rules.get(code, RuleConfig())
+        rules[code] = dataclasses.replace(base, enabled=False)
+    for code, override in table.items():
+        if not isinstance(override, dict):
+            continue
+        base = rules.get(code, RuleConfig())
+        rules[code] = dataclasses.replace(
+            base,
+            allow=base.allow
+            + _as_tuple(override.get("allow", ()), f"{code} allow"),
+            scope=base.scope
+            + _as_tuple(override.get("scope", ()), f"{code} scope"),
+        )
+    return LintConfig(rules=rules)

@@ -1,0 +1,228 @@
+"""The rule engine: AST walking, suppression handling, finding reports.
+
+One parse per file: the engine builds the AST, annotates every node with
+its parent (so rules can reason about context — "is this call an argument
+of ``append_journal``?"), extracts the suppression table from the raw
+source comments, and hands the tree to each applicable rule's visitor.
+
+Suppressions
+------------
+``# repro-lint: disable=REP001`` (or ``disable=REP001,REP004``, or
+``disable=all``) suppresses matching findings on its own line; a comment
+alone on a line suppresses the line below it, so long justifications fit::
+
+    # repro-lint: disable=REP005 -- (L, E) table built once at init
+    table = loop_radii[:, None] + env_radii[None, :]
+
+``# repro-lint: disable-file=REP005`` anywhere in a file suppresses the
+rule for the whole file.  Suppressed findings are retained (flagged
+``suppressed=True``) so ``repro-lint --show-suppressed`` can audit them.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.lint.config import LintConfig, load_config, package_relpath
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "lint_source",
+    "lint_paths",
+    "run_lint",
+    "iter_python_files",
+]
+
+
+class LintError(RuntimeError):
+    """A file could not be linted (unreadable or syntactically invalid)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        """The canonical one-line report form."""
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{mark}"
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+def _suppressions(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
+    """Per-line and file-wide suppression tables from the raw source.
+
+    A ``disable=`` comment applies to its own line; when the line holds
+    nothing but the comment, it also applies to the next line.  Codes are
+    upper-cased; the special code ``ALL`` matches every rule.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        kind = match.group(1)
+        codes = {
+            code.strip().upper()
+            for code in match.group(2).split(",")
+            if code.strip()
+        }
+        if kind == "disable-file":
+            file_wide |= codes
+            continue
+        by_line.setdefault(lineno, set()).update(codes)
+        if text[: match.start()].strip() == "":
+            by_line.setdefault(lineno + 1, set()).update(codes)
+    return by_line, file_wide
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    """The parent node recorded by the engine's pre-pass (None at module)."""
+    return getattr(node, "_repro_parent", None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """The node's ancestor chain, innermost first."""
+    current = parent_of(node)
+    while current is not None:
+        yield current
+        current = parent_of(current)
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call's callee: ``np.random.default_rng`` or ``open``.
+
+    Non-name callees (subscripts, calls returning callables) yield ``""``.
+    """
+    parts: List[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def lint_source(
+    source: str,
+    filename: Union[str, Path],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns findings (suppressed included).
+
+    ``filename`` locates the module for path-scoped rules — synthetic
+    names like ``repro/runtime/foo.py`` are fine for fixtures.
+    """
+    from repro.lint.rules import get_rules
+
+    config = config or LintConfig()
+    relpath = package_relpath(filename)
+    try:
+        tree = ast.parse(source, filename=str(filename))
+    except SyntaxError as exc:
+        raise LintError(f"{filename}: syntax error: {exc}") from exc
+    _annotate_parents(tree)
+    by_line, file_wide = _suppressions(source)
+
+    findings: List[Finding] = []
+    for rule in get_rules():
+        rule_config = config.rule(rule.code)
+        if not rule_config.applies_to(relpath):
+            continue
+        for line, col, message in rule.check(tree, relpath, config):
+            at_line = by_line.get(line, set())
+            suppressed = (
+                rule.code in file_wide
+                or "ALL" in file_wide
+                or rule.code in at_line
+                or "ALL" in at_line
+            )
+            findings.append(
+                Finding(
+                    rule=rule.code,
+                    path=str(filename),
+                    line=line,
+                    col=col,
+                    message=message,
+                    suppressed=suppressed,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Python files under ``paths`` (files pass through), sorted."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        elif entry.is_file():
+            candidates = [entry]
+        else:
+            raise LintError(f"no such file or directory: {entry}")
+        for candidate in candidates:
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        findings.extend(lint_source(source, path, config))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+    pyproject: Optional[Union[str, Path]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` with the repo policy; the one-call programmatic API.
+
+    When ``config`` is not given, the policy is resolved through
+    :func:`repro.lint.config.load_config` (merging ``pyproject`` overrides
+    if that file exists).  Returns all findings; callers gate on the
+    unsuppressed subset: ``[f for f in findings if not f.suppressed]``.
+    """
+    if config is None:
+        config = load_config(pyproject)
+    return lint_paths(paths, config)

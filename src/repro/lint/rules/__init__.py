@@ -1,0 +1,35 @@
+"""Rule registry for repro-lint.
+
+One module per rule family; each contributes a :class:`~repro.lint.rules.base.Rule`
+subclass.  :data:`RULES` is the canonical ordered registry — the engine
+instantiates fresh rule objects per run via :func:`get_rules` so rules may
+keep per-run state without leaking between invocations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from repro.lint.rules.base import Rule, Violation
+from repro.lint.rules.dense import DenseOuterRule
+from repro.lint.rules.io import NonAtomicWriteRule
+from repro.lint.rules.ordering import UnorderedIterationRule
+from repro.lint.rules.rng import NakedRngRule
+from repro.lint.rules.schema import CheckpointSchemaRule
+from repro.lint.rules.wallclock import WallClockRule
+
+__all__ = ["RULES", "Rule", "Violation", "get_rules"]
+
+RULES: Tuple[Type[Rule], ...] = (
+    NakedRngRule,
+    NonAtomicWriteRule,
+    UnorderedIterationRule,
+    WallClockRule,
+    DenseOuterRule,
+    CheckpointSchemaRule,
+)
+
+
+def get_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [rule_cls() for rule_cls in RULES]

@@ -1,0 +1,37 @@
+"""Rule protocol shared by every rule family.
+
+A rule is a stateless object with a ``REPxxx`` code and a ``check``
+method yielding ``(line, col, message)`` triples over a parent-annotated
+AST.  Path scoping and suppression handling live in the engine; rules
+only decide whether a node violates their invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["Rule", "Violation"]
+
+#: One raw violation: (line, col, message).
+Violation = Tuple[int, int, str]
+
+
+class Rule:
+    """Base class of every lint rule."""
+
+    #: Stable machine code, e.g. ``"REP001"``.
+    code: str = ""
+    #: Short kebab-case slug, e.g. ``"naked-rng"``.
+    name: str = ""
+    #: One-line statement of the invariant the rule enforces.
+    summary: str = ""
+
+    def check(
+        self, tree: ast.AST, relpath: str, config: "LintConfig"
+    ) -> Iterator[Violation]:
+        """Yield every violation in ``tree`` (already parent-annotated)."""
+        raise NotImplementedError

@@ -1,0 +1,97 @@
+"""REP005 — no dense quadratic materialisation in kernel hot paths.
+
+The paper-scale population is 15,360 members; a single ``(P, P)``
+float64 intermediate is ~1.9 GB and evicts every cache line the streaming
+kernels depend on.  PRs 1–2 rebuilt the scoring and dominance hot paths
+to stream column blocks through the pairwise chunking helpers
+(:mod:`repro.scoring.pairwise`), and this rule keeps them that way.
+
+Flags, inside ``scoring/``, ``moscem/`` and ``simt/``:
+
+* ``np.<ufunc>.outer(...)`` and ``np.outer(...)`` — eager (N, M)
+  materialisation by construction;
+* the broadcast outer pattern ``a[:, None] <op> b[None, :]`` — the same
+  materialisation spelled as slicing.
+
+Small bounded tables built once at init (per-residue radii sums, the
+27-cell neighbourhood offsets) are legitimate; suppress those lines with
+``# repro-lint: disable=REP005`` and a justification naming the bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.engine import call_name
+from repro.lint.rules.base import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["DenseOuterRule"]
+
+
+def _is_full_slice(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Slice)
+        and node.lower is None
+        and node.upper is None
+        and node.step is None
+    )
+
+
+def _is_none_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _axis_shape(expr: ast.expr) -> str:
+    """``"col"`` for ``x[:, None]``, ``"row"`` for ``x[None, :]``, else ``""``."""
+    if not isinstance(expr, ast.Subscript):
+        return ""
+    index = expr.slice
+    if not (isinstance(index, ast.Tuple) and len(index.elts) == 2):
+        return ""
+    first, second = index.elts
+    if _is_full_slice(first) and _is_none_constant(second):
+        return "col"
+    if _is_none_constant(first) and _is_full_slice(second):
+        return "row"
+    return ""
+
+
+class DenseOuterRule(Rule):
+    code = "REP005"
+    name = "dense-outer"
+    summary = (
+        "hot paths must stream through the pairwise chunking helpers, "
+        "not materialise dense (N, M) outer products"
+    )
+
+    def check(
+        self, tree: ast.AST, relpath: str, config: "LintConfig"
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = call_name(node)
+                parts = dotted.split(".")
+                if parts[0] in ("np", "numpy") and parts[-1] == "outer":
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"`{dotted}(...)` materialises a dense (N, M) array; "
+                        "stream column blocks via "
+                        "repro.scoring.pairwise.population_blocks",
+                    )
+                continue
+            if isinstance(node, ast.BinOp):
+                shapes = {_axis_shape(node.left), _axis_shape(node.right)}
+                if shapes == {"col", "row"}:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "broadcast outer `a[:, None] <op> b[None, :]` "
+                        "materialises a dense (N, M) array; stream through "
+                        "the pairwise chunk helpers (or suppress with a "
+                        "justification naming the size bound)",
+                    )

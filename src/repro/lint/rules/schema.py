@@ -1,0 +1,150 @@
+"""REP006 — checkpoint-schema drift without a version bump.
+
+``checkpoint.npz`` / ``checkpoint.json`` are the resume contract: a field
+added to :func:`repro.runtime.checkpoint.save_checkpoint` without bumping
+``CHECKPOINT_FORMAT_VERSION`` means old checkpoints resume with silently
+missing state — the worst failure mode a determinism-first runtime can
+have, because the run completes and is simply wrong.
+
+The rule statically extracts the serialised field names from the
+``arrays`` and ``payload`` dict literals of ``save_checkpoint`` (plus
+``arrays["..."] = ...`` augmentations) and the
+``CHECKPOINT_FORMAT_VERSION`` constant, then compares all three against
+the pin in :data:`repro.lint.config.CHECKPOINT_SCHEMA`.  Changing the
+schema therefore requires touching three places on purpose: the writer,
+the version constant, and the pin — a conscious, reviewable decision
+instead of a drive-by field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.rules.base import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["CheckpointSchemaRule"]
+
+
+def _literal_dict_keys(node: ast.Dict) -> Set[str]:
+    return {
+        key.value
+        for key in node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+
+
+def _extract(
+    tree: ast.AST,
+) -> Tuple[Optional[int], Optional[Set[str]], Optional[Set[str]], int]:
+    """``(format_version, npz_keys, json_keys, anchor_line)`` of the writer."""
+    version: Optional[int] = None
+    npz_keys: Optional[Set[str]] = None
+    json_keys: Optional[Set[str]] = None
+    anchor = 1
+
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "CHECKPOINT_FORMAT_VERSION"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                version = value.value
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "save_checkpoint":
+            anchor = node.lineno
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and isinstance(inner.value, ast.Dict)
+                        ):
+                            if target.id == "arrays":
+                                npz_keys = _literal_dict_keys(inner.value)
+                            elif target.id == "payload":
+                                json_keys = _literal_dict_keys(inner.value)
+                        elif (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "arrays"
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)
+                            and npz_keys is not None
+                        ):
+                            npz_keys.add(target.slice.value)
+            break
+    return version, npz_keys, json_keys, anchor
+
+
+class CheckpointSchemaRule(Rule):
+    code = "REP006"
+    name = "checkpoint-schema-drift"
+    summary = (
+        "checkpoint serialisation fields must match the pinned schema; "
+        "changes require a CHECKPOINT_FORMAT_VERSION bump and a new pin"
+    )
+
+    def check(
+        self, tree: ast.AST, relpath: str, config: "LintConfig"
+    ) -> Iterator[Violation]:
+        pin = config.checkpoint_schema
+        pinned_version = int(pin["format_version"])
+        pinned_npz = set(pin["npz"])
+        pinned_json = set(pin["json"])
+        version, npz_keys, json_keys, anchor = _extract(tree)
+
+        remedy = (
+            "bump CHECKPOINT_FORMAT_VERSION and update CHECKPOINT_SCHEMA in "
+            "repro/lint/config.py"
+        )
+        if version is None or npz_keys is None or json_keys is None:
+            yield (
+                anchor,
+                0,
+                "cannot statically extract the checkpoint schema (expected "
+                "`arrays = {...}` / `payload = {...}` dict literals in "
+                "save_checkpoint and a literal CHECKPOINT_FORMAT_VERSION); "
+                "restore the declarative form so drift stays checkable",
+            )
+            return
+        if version != pinned_version:
+            yield (
+                anchor,
+                0,
+                f"CHECKPOINT_FORMAT_VERSION is {version} but the lint pin "
+                f"records {pinned_version}; {remedy} together",
+            )
+        for label, found, pinned in (
+            ("npz", npz_keys, pinned_npz),
+            ("json", json_keys, pinned_json),
+        ):
+            added = sorted(found - pinned)
+            removed = sorted(pinned - found)
+            if added or removed:
+                detail = []
+                if added:
+                    detail.append(f"added {added}")
+                if removed:
+                    detail.append(f"removed {removed}")
+                yield (
+                    anchor,
+                    0,
+                    f"checkpoint {label} schema drifted ({'; '.join(detail)}) "
+                    f"— old checkpoints would resume wrongly; {remedy}",
+                )

@@ -14,11 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro import constants
 from repro.geometry.nerf import build_backbone
 from repro.loops.loop import canonical_n_anchor
 from repro.loops.ramachandran import RamachandranModel

@@ -9,7 +9,7 @@ molecular viewer.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 

@@ -23,17 +23,16 @@ never interrupted (see ``tests/property/test_checkpoint_resume.py``).
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.io import write_json_atomic, write_npz_atomic
 from repro.moscem.metropolis import TemperatureSchedule
 from repro.moscem.population import Population
 from repro.moscem.sampler import MOSCEMSampler, SamplerState
-from repro.utils.fileio import write_bytes_atomic, write_json_atomic
 from repro.utils.rng import RandomStreams
 
 __all__ = [
@@ -103,12 +102,9 @@ def save_checkpoint(
     if population.fitness is not None:
         arrays["fitness"] = population.fitness
 
-    # Serialise into memory so the hash is computed on exactly the bytes
-    # written, in one disk pass (no read-back of a large npz per checkpoint).
-    buffer = io.BytesIO()
-    np.savez_compressed(buffer, **arrays)
-    blob = buffer.getvalue()
-    write_bytes_atomic(paths["npz"], blob)
+    # The atomic npz writer serialises into memory and returns exactly the
+    # bytes it wrote, so the hash needs no read-back of a large npz file.
+    blob = write_npz_atomic(paths["npz"], arrays)
     payload = {
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "iteration": int(state.iteration),

@@ -45,7 +45,17 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
 from repro.islands.broker import MigrationBroker, WaitingForPackets
@@ -56,9 +66,12 @@ from repro.runtime.checkpoint import (
     load_checkpoint_extra,
     save_checkpoint,
 )
-from repro.runtime.spec import Campaign, CellSpec, RunSpec, ShardSpec, shard_name
+from repro.runtime.spec import Campaign, CellSpec, RunSpec, shard_name
 from repro.runtime.store import RunStore
 from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # heavy sampler imports stay lazy in worker processes
+    from repro.moscem.sampler import MOSCEMSampler, SamplerState
 
 __all__ = [
     "PersistentPool",
@@ -89,7 +102,7 @@ class _MigrationWait(Exception):
     state — a later pass resumes it from the boundary checkpoint).
     """
 
-    def __init__(self, epoch: int, missing, iteration: int) -> None:
+    def __init__(self, epoch: int, missing: Sequence[int], iteration: int) -> None:
         self.epoch = int(epoch)
         self.missing = tuple(int(m) for m in missing)
         self.iteration = int(iteration)
@@ -213,7 +226,7 @@ def parallel_map(
 _MULTI_SCORE_CACHE: Dict[Any, Any] = {}
 
 
-def _cached_multi_score(target_name: str, block_size: int):
+def _cached_multi_score(target_name: str, block_size: int) -> Any:
     from repro.loops.targets import get_target
     from repro.scoring import default_multi_score
 
@@ -225,7 +238,7 @@ def _cached_multi_score(target_name: str, block_size: int):
     return _MULTI_SCORE_CACHE[key]
 
 
-def _build_sampler(cell: CellSpec):
+def _build_sampler(cell: CellSpec) -> "MOSCEMSampler":
     """Construct the target, backend and sampler for one cell.
 
     The target and scoring stack come from the per-worker caches; the
@@ -323,7 +336,7 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         **_status_fields(iteration=0 if state is None else state.iteration),
     )
 
-    def _maybe_migrate(live_state) -> bool:
+    def _maybe_migrate(live_state: "SamplerState") -> bool:
         """Run the migration boundary at the live iteration, if one is due.
 
         Returns True when a (post-absorption) checkpoint was written, so
@@ -375,7 +388,7 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         )
         return True
 
-    def _on_iteration(live_state) -> None:
+    def _on_iteration(live_state: "SamplerState") -> None:
         if _maybe_migrate(live_state):
             return
         if (
@@ -442,12 +455,18 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         host_ledger=result.host_ledger,
         kernel_ledger=result.kernel_ledger,
     )
+    # Wall-clock stamps live in the status document — the mutable,
+    # non-replayed metadata channel (it already carries the pid) — never
+    # in journal payloads, which kill-and-redrain replays must reproduce
+    # byte-identically (enforced by lint rule REP004).
     store.write_shard_status(
         cell.run_id,
         index,
         state="done",
         **_status_fields(
-            iteration=cell.config.iterations, n_decoys=len(decoys)
+            iteration=cell.config.iterations,
+            n_decoys=len(decoys),
+            finished_at=time.time(),
         ),
     )
     store.append_journal(
@@ -457,7 +476,6 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
             "shard": index,
             "target": cell.target,
             "n_decoys": len(decoys),
-            "time": time.time(),
         },
     )
     summary["n_decoys"] = len(decoys)
@@ -494,6 +512,7 @@ def _cell_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                 error=str(exc),
                 detail=detail,
                 attempts=attempts + 1,
+                failed_at=time.time(),
             )
             store.append_journal(
                 cell.run_id,
@@ -502,7 +521,6 @@ def _cell_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                     "shard": cell.index,
                     "target": cell.target,
                     "error": f"{type(exc).__name__}: {exc}",
-                    "time": time.time(),
                 },
             )
         except OSError:
@@ -541,7 +559,11 @@ class ShardExecutor:
         else:
             self._logger.info("%s", line)
 
-    def execute(self, spec, indices: Optional[Sequence[int]] = None) -> List[Dict[str, Any]]:
+    def execute(
+        self,
+        spec: Union[RunSpec, Campaign],
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[Dict[str, Any]]:
         """Run the (remaining) cells of ``spec``; returns cell summaries.
 
         ``spec`` is a :class:`RunSpec` or a :class:`Campaign`.  Cells with

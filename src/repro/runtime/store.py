@@ -24,23 +24,23 @@ interleave partial writes.  The store is intentionally dumb — all policy
 
 from __future__ import annotations
 
-import io
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.io import write_json_atomic, write_npz_atomic
 from repro.moscem.decoys import Decoy, DecoySet
 from repro.runtime.spec import (
     CAMPAIGN_FORMAT_VERSION,
     MANIFEST_FORMAT_VERSION,
+    Campaign,
     CampaignManifest,
     RunManifest,
     RunSpec,
     shard_name,
 )
-from repro.utils.fileio import write_bytes_atomic, write_json_atomic
 from repro.utils.timing import TimingLedger
 
 __all__ = ["RunStore", "RunStoreError"]
@@ -111,7 +111,9 @@ class RunStore:
             if (entry / self.MANIFEST_NAME).is_file()
         )
 
-    def create_run(self, spec: Union[RunSpec, "object"], exist_ok: bool = False):
+    def create_run(
+        self, spec: Union[RunSpec, Campaign], exist_ok: bool = False
+    ) -> Union[RunManifest, CampaignManifest]:
         """Register a run or campaign: write its manifest and cell directories.
 
         ``spec`` is anything with ``run_id``, ``cells()`` and ``manifest()``
@@ -390,9 +392,7 @@ class RunStore:
                 "rmsd": np.zeros(0),
                 "trajectory": np.zeros(0, dtype=np.int64),
             }
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **arrays)
-        write_bytes_atomic(path, buffer.getvalue())
+        write_npz_atomic(path, arrays)
 
     @staticmethod
     def _load_decoys(path: Path, distinctness_threshold: float) -> DecoySet:

@@ -8,9 +8,9 @@ Table II (category, method, number of calls, GPU time, % GPU time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
-from repro.simt.kernel import KernelLaunch, KernelSpec
+from repro.simt.kernel import KernelLaunch
 from repro.simt.memory import MemcpyKind, TransferRecord
 
 __all__ = ["KernelProfiler", "ProfileRow"]

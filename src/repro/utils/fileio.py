@@ -1,44 +1,23 @@
-"""Atomic file-write helpers shared by the run store and the checkpoints.
+"""Deprecated alias of :mod:`repro.io`.
 
-Every durable artefact of the runtime layer (manifests, status documents,
-checkpoints, decoy arrays) is written through a sibling temp file and an
-atomic ``os.replace``, so readers in other processes only ever observe a
-complete previous version or a complete new one — never a partial write.
-Centralised here so crash-durability improvements (e.g. fsync before the
-rename) apply everywhere at once.
+The atomic-write helpers moved to :mod:`repro.io` when they became the
+lint-enforced single write path (rule REP002); this module re-exports them
+so existing imports keep working.  New code should import from
+``repro.io`` directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-from typing import Any, Callable, Dict, Union
+from repro.io import (
+    atomic_write,
+    write_bytes_atomic,
+    write_json_atomic,
+    write_npz_atomic,
+)
 
-__all__ = ["atomic_write", "write_json_atomic", "write_bytes_atomic"]
-
-
-def atomic_write(path: Union[str, Path], write_fn: Callable[[Path], None]) -> None:
-    """Run ``write_fn`` against a sibling temp file, then rename atomically."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        write_fn(tmp)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
-
-
-def write_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
-    """Atomically replace ``path`` with ``payload`` rendered as JSON."""
-    atomic_write(
-        path,
-        lambda tmp: tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)),
-    )
-
-
-def write_bytes_atomic(path: Union[str, Path], data: bytes) -> None:
-    """Atomically replace ``path`` with ``data``."""
-    atomic_write(path, lambda tmp: tmp.write_bytes(data))
+__all__ = [
+    "atomic_write",
+    "write_json_atomic",
+    "write_bytes_atomic",
+    "write_npz_atomic",
+]

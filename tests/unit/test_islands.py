@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -473,6 +474,10 @@ class TestWatchAndWait:
 
 
 def _worker_pid(_item) -> int:
+    # The short sleep keeps every worker busy long enough that both pool
+    # processes pick up items of each map; without it one fast worker can
+    # drain a whole map alone and the cross-map pid comparison flakes.
+    time.sleep(0.05)
     return os.getpid()
 
 
@@ -481,7 +486,11 @@ class TestPersistentPool:
         with PersistentPool(2) as pool:
             first = set(parallel_map(_worker_pid, range(8), 2, pool=pool))
             second = set(parallel_map(_worker_pid, range(8), 2, pool=pool))
-        assert first == second
+        # The persistent pool reuses its processes: across both maps at
+        # most the pool's two workers ever appear, and at least one serves
+        # both maps.  A rebuilt pool would surface fresh pids instead.
+        assert len(first | second) <= 2
+        assert first & second
         assert os.getpid() not in first
 
     def test_fresh_pool_per_call_without_pool(self):

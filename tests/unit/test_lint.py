@@ -1,0 +1,475 @@
+"""Unit tests of the repro-lint rule engine, rules, suppressions and CLI."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintError, lint_source, load_config, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.config import CHECKPOINT_SCHEMA, package_relpath
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def _codes(findings, include_suppressed=False):
+    return [
+        f.rule for f in findings if include_suppressed or not f.suppressed
+    ]
+
+
+def _lint(source: str, filename: str = "repro/runtime/mod.py"):
+    return lint_source(textwrap.dedent(source), filename)
+
+
+# ---------------------------------------------------------------------------
+# REP001 — naked RNG
+# ---------------------------------------------------------------------------
+
+
+class TestNakedRng:
+    def test_bare_default_rng_flagged(self):
+        findings = _lint("import numpy as np\nrng = np.random.default_rng()\n")
+        assert _codes(findings) == ["REP001"]
+
+    def test_seeded_default_rng_allowed(self):
+        findings = _lint(
+            "import numpy as np\nrng = np.random.default_rng(seed)\n"
+        )
+        assert _codes(findings) == []
+
+    def test_legacy_global_numpy_rng_flagged(self):
+        findings = _lint("import numpy as np\nx = np.random.rand(4)\n")
+        assert _codes(findings) == ["REP001"]
+
+    def test_stdlib_random_flagged(self):
+        findings = _lint("import random\nx = random.random()\n")
+        assert _codes(findings) == ["REP001"]
+
+    def test_seed_sequence_outside_sanctioned_sites_flagged(self):
+        findings = _lint(
+            "import numpy as np\nseq = np.random.SeedSequence(entropy=3)\n"
+        )
+        assert _codes(findings) == ["REP001"]
+
+    def test_sanctioned_derivation_site_exempt(self):
+        findings = _lint(
+            "import numpy as np\nseq = np.random.SeedSequence(entropy=3)\n",
+            filename="repro/utils/rng.py",
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP002 — non-atomic writes
+# ---------------------------------------------------------------------------
+
+
+class TestNonAtomicWrite:
+    def test_open_for_write_flagged(self):
+        findings = _lint(
+            'with open(path, "w") as fh:\n    fh.write(data)\n'
+        )
+        assert _codes(findings) == ["REP002"]
+
+    def test_append_mode_exempt(self):
+        findings = _lint(
+            'with open(path, "a") as fh:\n    fh.write(line)\n'
+        )
+        assert _codes(findings) == []
+
+    def test_read_mode_exempt(self):
+        findings = _lint('with open(path, "rb") as fh:\n    fh.read()\n')
+        assert _codes(findings) == []
+
+    def test_write_text_flagged(self):
+        findings = _lint("path.write_text(doc)\n")
+        assert _codes(findings) == ["REP002"]
+
+    def test_np_savez_to_path_flagged(self):
+        findings = _lint(
+            "import numpy as np\nnp.savez_compressed(path, x=x)\n"
+        )
+        assert _codes(findings) == ["REP002"]
+
+    def test_np_savez_into_buffer_exempt(self):
+        findings = _lint(
+            "import numpy as np\nnp.savez_compressed(buffer, x=x)\n"
+        )
+        assert _codes(findings) == []
+
+    def test_outside_store_subsystems_not_patrolled(self):
+        findings = _lint(
+            'with open(path, "w") as fh:\n    fh.write(data)\n',
+            filename="repro/analysis/report.py",
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP003 — unordered iteration / unsorted serialisation
+# ---------------------------------------------------------------------------
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_call_flagged(self):
+        findings = _lint("for item in set(items):\n    emit(item)\n")
+        assert _codes(findings) == ["REP003"]
+
+    def test_for_over_sorted_exempt(self):
+        findings = _lint(
+            "for item in sorted(set(items)):\n    emit(item)\n"
+        )
+        assert _codes(findings) == []
+
+    def test_glob_iteration_flagged(self):
+        findings = _lint("for p in root.glob('*.json'):\n    load(p)\n")
+        assert _codes(findings) == ["REP003"]
+
+    def test_listdir_comprehension_flagged(self):
+        findings = _lint("import os\nnames = [n for n in os.listdir(d)]\n")
+        assert _codes(findings) == ["REP003"]
+
+    def test_order_insensitive_consumer_exempt(self):
+        findings = _lint(
+            "count = len([p for p in root.glob('*.json')])\n"
+            "total = sum(w for w in set(weights))\n"
+        )
+        assert _codes(findings) == []
+
+    def test_json_dumps_without_sort_keys_flagged(self):
+        findings = _lint("import json\ndoc = json.dumps(payload)\n")
+        assert _codes(findings) == ["REP003"]
+
+    def test_json_dumps_with_sort_keys_exempt(self):
+        findings = _lint(
+            "import json\ndoc = json.dumps(payload, sort_keys=True)\n"
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP004 — wall-clock in payloads
+# ---------------------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_wallclock_inside_payload_writer_flagged(self):
+        findings = _lint(
+            "import time\n"
+            'store.append_journal(run_id, {"event": "done", "time": time.time()})\n'
+        )
+        assert _codes(findings) == ["REP004"]
+
+    def test_wallclock_outside_payloads_allowed(self):
+        findings = _lint(
+            "import time\nstarted = time.time()\n"
+            "store.write_shard_status(run_id, 0, finished_at=started)\n"
+        )
+        assert _codes(findings) == []
+
+    def test_monotonic_clocks_always_allowed(self):
+        findings = _lint(
+            "import time\n"
+            "store.append_journal(run_id, {'t': time.perf_counter()})\n"
+        )
+        assert _codes(findings) == []
+
+    def test_replay_critical_module_bans_wallclock_entirely(self):
+        findings = _lint(
+            "import time\nstamp = time.time()\n",
+            filename="repro/islands/broker.py",
+        )
+        assert _codes(findings) == ["REP004"]
+
+
+# ---------------------------------------------------------------------------
+# REP005 — dense outer materialisation
+# ---------------------------------------------------------------------------
+
+
+class TestDenseOuter:
+    def test_subtract_outer_flagged(self):
+        findings = _lint(
+            "import numpy as np\nd = np.subtract.outer(a, b)\n",
+            filename="repro/scoring/mod.py",
+        )
+        assert _codes(findings) == ["REP005"]
+
+    def test_broadcast_outer_flagged(self):
+        findings = _lint(
+            "d = a[:, None] - b[None, :]\n",
+            filename="repro/moscem/mod.py",
+        )
+        assert _codes(findings) == ["REP005"]
+
+    def test_plain_broadcasting_exempt(self):
+        findings = _lint(
+            "d = a[:, None] - b\ne = a * b[None, :]\n",
+            filename="repro/scoring/mod.py",
+        )
+        assert _codes(findings) == []
+
+    def test_outside_hot_paths_not_patrolled(self):
+        findings = _lint(
+            "import numpy as np\nd = np.subtract.outer(a, b)\n",
+            filename="repro/analysis/clustering.py",
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP006 — checkpoint schema drift
+# ---------------------------------------------------------------------------
+
+
+_CHECKPOINT_TEMPLATE = """
+CHECKPOINT_FORMAT_VERSION: int = {version}
+
+def save_checkpoint(store, state):
+    arrays = {{{npz_keys}}}
+    payload = {{{json_keys}}}
+    return arrays, payload
+"""
+
+
+def _checkpoint_module(version=None, extra_npz=(), extra_json=()):
+    version = CHECKPOINT_SCHEMA["format_version"] if version is None else version
+    npz = tuple(CHECKPOINT_SCHEMA["npz"]) + tuple(extra_npz)
+    json_keys = tuple(CHECKPOINT_SCHEMA["json"]) + tuple(extra_json)
+    return _CHECKPOINT_TEMPLATE.format(
+        version=version,
+        npz_keys=", ".join(f'"{k}": None' for k in npz),
+        json_keys=", ".join(f'"{k}": None' for k in json_keys),
+    )
+
+
+class TestCheckpointSchema:
+    def test_matching_schema_passes(self):
+        findings = _lint(
+            _checkpoint_module(), filename="repro/runtime/checkpoint.py"
+        )
+        assert _codes(findings) == []
+
+    def test_new_field_without_version_bump_flagged(self):
+        findings = _lint(
+            _checkpoint_module(extra_json=("wallclock",)),
+            filename="repro/runtime/checkpoint.py",
+        )
+        assert _codes(findings) == ["REP006"]
+
+    def test_version_bump_alone_still_requires_pin_update(self):
+        findings = _lint(
+            _checkpoint_module(version=2, extra_npz=("velocities",)),
+            filename="repro/runtime/checkpoint.py",
+        )
+        assert _codes(findings) == ["REP006", "REP006"]
+
+    def test_unextractable_schema_flagged(self):
+        findings = _lint(
+            "def save_checkpoint(store, state):\n    return build()\n",
+            filename="repro/runtime/checkpoint.py",
+        )
+        assert _codes(findings) == ["REP006"]
+
+    def test_rule_only_patrols_checkpoint_module(self):
+        findings = _lint(
+            "def save_checkpoint(store, state):\n    return build()\n",
+            filename="repro/runtime/store.py",
+        )
+        assert "REP006" not in _codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    BAD = "import numpy as np\nrng = np.random.default_rng()"
+
+    def test_same_line_suppression(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=REP001\n"
+        )
+        assert _codes(findings) == []
+        assert _codes(findings, include_suppressed=True) == ["REP001"]
+
+    def test_comment_above_suppression(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "# repro-lint: disable=REP001 -- fixture entropy, never replayed\n"
+            "rng = np.random.default_rng()\n"
+        )
+        assert _codes(findings) == []
+
+    def test_file_wide_suppression(self):
+        findings = _lint(
+            "# repro-lint: disable-file=REP001\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"
+        )
+        assert _codes(findings) == []
+        assert _codes(findings, include_suppressed=True) == ["REP001", "REP001"]
+
+    def test_all_wildcard(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=all\n"
+        )
+        assert _codes(findings) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=REP002\n"
+        )
+        assert _codes(findings) == ["REP001"]
+
+    def test_multi_code_suppression(self):
+        findings = _lint(
+            "import json\n"
+            "# repro-lint: disable=REP002,REP003\n"
+            'doc = json.dumps(payload)\n'
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_package_relpath(self):
+        assert (
+            package_relpath("/x/src/repro/runtime/store.py")
+            == "repro/runtime/store.py"
+        )
+        assert package_relpath("repro/runtime/x.py") == "repro/runtime/x.py"
+
+    def test_pyproject_disable(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro-lint]\ndisable = ["REP001"]\n', encoding="utf8"
+        )
+        config = load_config(pyproject)
+        findings = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "repro/runtime/mod.py",
+            config,
+        )
+        assert _codes(findings) == []
+
+    def test_pyproject_allow_extension(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint.REP001]\n"
+            'allow = ["repro/experiments/fuzz.py"]\n',
+            encoding="utf8",
+        )
+        config = load_config(pyproject)
+        findings = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "repro/experiments/fuzz.py",
+            config,
+        )
+        assert _codes(findings) == []
+
+    def test_missing_pyproject_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert config.rule("REP001").enabled
+
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError):
+            lint_source("def broken(:\n", "repro/runtime/mod.py")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime" / "clean.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("VALUE = 1\n", encoding="utf8")
+        assert lint_main([str(target)]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            encoding="utf8",
+        )
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def broken(:\n", encoding="utf8")
+        assert lint_main([str(target)]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "absent")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            encoding="utf8",
+        )
+        import json as json_module
+
+        assert lint_main(["--format", "json", str(target)]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "REP001"
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the tree must be clean under its own linter
+# ---------------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_tree_has_zero_unsuppressed_findings(self):
+        findings = run_lint([SRC_ROOT])
+        unsuppressed = [f for f in findings if not f.suppressed]
+        assert unsuppressed == [], "\n".join(
+            f.render() for f in unsuppressed
+        )
+
+    def test_suppressions_in_tree_are_justified(self):
+        # Every suppressed finding in the tree must carry a justification
+        # (the `--` separator) on its disable comment line or the line above.
+        findings = [f for f in run_lint([SRC_ROOT]) if f.suppressed]
+        assert findings, "expected the tree's sanctioned suppressions"
+        for finding in findings:
+            lines = Path(finding.path).read_text(encoding="utf8").splitlines()
+            context = "\n".join(lines[max(0, finding.line - 3) : finding.line])
+            assert "repro-lint: disable" in context
+            assert "--" in context, finding.render()
+
+    def test_checkpoint_schema_pin_matches_reality(self):
+        # Guard the guard: REP006 passing over the real checkpoint module
+        # means the extraction logic still understands its AST shape.
+        checkpoint = SRC_ROOT / "repro" / "runtime" / "checkpoint.py"
+        findings = lint_source(
+            checkpoint.read_text(encoding="utf8"), checkpoint
+        )
+        assert [f for f in findings if f.rule == "REP006"] == []
