@@ -11,11 +11,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-moscem",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of a GPU-accelerated multi-objective MOSCEM loop "
         "sampler, with a declarative campaign API over a sharded "
-        "checkpoint/resume runtime"
+        "checkpoint/resume runtime and a lease-based multi-daemon "
+        "serving layer"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -25,6 +26,7 @@ setup(
         "console_scripts": [
             "repro-campaign=repro.cli:campaign_main",
             "repro-daemon=repro.cli:daemon_main",
+            "repro-serve=repro.cli:serve_main",
             "repro-experiments=repro.cli:experiments_main",
             "repro-sample=repro.cli:sample_main",
             "repro-batch=repro.cli:batch_main",

@@ -21,20 +21,42 @@ the *waiting* state — parked at a migration boundary until their source
 islands emit; they stay pending and the next pass resumes them, so an
 island campaign drains to completion over a handful of passes with no
 daemon-side coordination.
+
+Scale-out (see :mod:`repro.serve`) plugs in through two optional
+collaborators, both riding the store rather than any new IPC:
+
+* ``leases`` — a :class:`~repro.serve.leases.LeaseManager`.  Before
+  executing, the pass *claims* each drainable cell through an atomic
+  exclusive-create lease file; cells claimed by other daemons are skipped
+  this pass, heartbeats renew from the worker pool's tick callback, and
+  leases release the moment their cells finish or park.  N daemons
+  pointed at one store thus partition the work instead of duplicating it
+  — and because execution stays idempotent and deterministic, even a
+  botched partition (a daemon stalled past its lease TTL) costs duplicate
+  compute, never different bytes.
+* ``cache`` — a :class:`~repro.serve.cache.ResultCache`.  Cells whose
+  content address is already cached are *filled* (O(ms)) instead of
+  executed, and freshly executed cells are published for future
+  campaigns.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.config import RuntimeConfig
+from repro.islands.broker import ready_to_resume
 from repro.runtime.executor import PersistentPool, _cell_task, parallel_map
 from repro.runtime.spec import CellSpec
 from repro.runtime.store import RunStore, RunStoreError
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.api must not pull
+    from repro.serve.cache import ResultCache  # the serve HTTP stack in
+    from repro.serve.leases import LeaseManager  # (circular-import hygiene)
 
 __all__ = ["DrainReport", "drain_once", "serve"]
 
@@ -55,8 +77,10 @@ class DrainReport:
     executed: int = 0
     failed: int = 0
     waiting: int = 0
+    cache_hits: int = 0
     skipped_cancelled: int = 0
     skipped_exhausted: int = 0
+    skipped_leased: int = 0
     campaigns: List[str] = field(default_factory=list)
     errors: Dict[str, str] = field(default_factory=dict)
 
@@ -65,15 +89,19 @@ class DrainReport:
         """Whether the pass found nothing left worth attempting.
 
         A pass that attempted cells — even unsuccessfully, or one that
-        merely advanced waiting islands to their next migration boundary —
-        is not idle; clients polling on ``idle`` would otherwise quiesce
-        while retryable or resumable work remains.
+        merely advanced waiting islands to their next migration boundary,
+        filled cells from the result cache, or found cells leased to
+        other daemons — is not idle; clients polling on ``idle`` would
+        otherwise quiesce while retryable or resumable work remains (or
+        while a sibling daemon is still mid-cell).
         """
         return (
             self.executed == 0
             and self.failed == 0
             and self.waiting == 0
+            and self.cache_hits == 0
             and self.skipped_cancelled == 0
+            and self.skipped_leased == 0
         )
 
 
@@ -176,6 +204,20 @@ def _pending_cells(
                     )
             else:
                 drainable.append(cell)
+        # Migration-aware ordering: cells of one island group drain
+        # consecutively (groups sorted by name, then shard index), so a
+        # group's packet producers are scheduled alongside — not an entire
+        # batch ahead of — their consumers.  Under leases this also makes
+        # a claiming daemon sweep whole archipelagos instead of striping
+        # across them, which minimises cells parking on packets a *sibling
+        # daemon* has yet to produce.  Independent cells sort with an
+        # empty group key, preserving their index order.
+        drainable.sort(
+            key=lambda cell: (
+                cell.migration.group if cell.migration is not None else "",
+                cell.index,
+            )
+        )
         if drainable:
             campaigns.append(run_id)
             pending.extend(drainable)
@@ -188,6 +230,8 @@ def drain_once(
     progress: Optional[ProgressFn] = None,
     max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
     pool: Optional[PersistentPool] = None,
+    leases: Optional["LeaseManager"] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> DrainReport:
     """Execute every drainable cell in the store through one worker pool.
 
@@ -201,6 +245,15 @@ def drain_once(
     boundary are neither failures nor completions: they count into
     ``report.waiting`` and stay drainable.  ``pool`` reuses a persistent
     worker pool across passes (see :func:`serve`).
+
+    With a ``cache``, cells whose content address is already cached are
+    filled in-process before any scheduling (``report.cache_hits``), and
+    freshly completed cells are published back.  With ``leases``, each
+    remaining cell is executed only after this daemon claims its lease;
+    cells held by live sibling daemons count into
+    ``report.skipped_leased``, and waiting islands whose source packets
+    are not on disk are left unclaimed for whichever daemon completes the
+    sources.
     """
     pending, skipped, exhausted, campaigns = _pending_cells(
         store, progress, max_attempts
@@ -215,6 +268,35 @@ def drain_once(
             progress(f"store {store.root}: nothing to drain")
         return report
 
+    if cache is not None:
+        remaining: List[CellSpec] = []
+        for cell in pending:
+            if cache.fill(store, cell) is not None:
+                report.cache_hits += 1
+                if progress is not None:
+                    progress(f"{cell.run_id}/{cell.name}: filled from cache")
+            else:
+                remaining.append(cell)
+        pending = remaining
+
+    if leases is not None:
+        claimed: List[CellSpec] = []
+        for cell in pending:
+            status = store.read_shard_status(cell.run_id, cell.index)
+            if not ready_to_resume(store, cell.run_id, status):
+                # A waiting island without its packets would execute only
+                # to re-park; leave it unclaimed and stay non-idle.
+                report.waiting += 1
+                continue
+            if leases.claim(cell.run_id, cell.index):
+                claimed.append(cell)
+            else:
+                report.skipped_leased += 1
+        pending = claimed
+
+    if not pending:
+        return report
+
     if progress is not None:
         progress(
             f"store {store.root}: draining {len(pending)} cell(s) from "
@@ -226,6 +308,12 @@ def drain_once(
 
     def _report(pos: int, summary: Dict) -> None:
         cell = pending[pos]
+        if leases is not None:
+            # Finished or parked either way — release immediately so
+            # sibling daemons can pick up dependants without waiting for
+            # the whole pass (waiting islands especially: their sources
+            # may be another daemon's next claim).
+            leases.release(cell.run_id, cell.index)
         if "error" in summary:
             report.failed += 1
             report.errors[f"{cell.run_id}/{cell.name}"] = summary["error"]
@@ -239,18 +327,33 @@ def drain_once(
                     f"{summary.get('migration_epoch')} for shard(s) "
                     f"{summary.get('waiting_on')}"
                 )
-        elif progress is not None:
-            progress(
-                f"{cell.run_id}/{cell.name}: done in "
-                f"{summary.get('wall_seconds', 0.0):.2f}s, "
-                f"{summary.get('n_decoys', 0)} decoys"
-            )
+        else:
+            report.executed += 1
+            if cache is not None:
+                cache.publish(store, cell)
+            if progress is not None:
+                progress(
+                    f"{cell.run_id}/{cell.name}: done in "
+                    f"{summary.get('wall_seconds', 0.0):.2f}s, "
+                    f"{summary.get('n_decoys', 0)} decoys"
+                )
 
     effective_workers = workers if workers is not None else _DEFAULTS.workers
-    parallel_map(
-        _cell_task, payloads, effective_workers, on_result=_report, pool=pool
-    )
-    report.executed = len(pending) - report.failed - report.waiting
+    tick = leases.renew_all if leases is not None else None
+    tick_seconds = leases.ttl_seconds / 3.0 if leases is not None else 5.0
+    try:
+        parallel_map(
+            _cell_task,
+            payloads,
+            effective_workers,
+            on_result=_report,
+            pool=pool,
+            on_tick=tick,
+            tick_seconds=tick_seconds,
+        )
+    finally:
+        if leases is not None:
+            leases.release_all()
     return report
 
 
@@ -261,6 +364,8 @@ def serve(
     max_cycles: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+    leases: Optional["LeaseManager"] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> DrainReport:
     """Drain the store in a loop, sleeping ``poll_seconds`` between passes.
 
@@ -270,7 +375,10 @@ def serve(
     bases, scoring stacks) live as long as the daemon; a crash that breaks
     the pool is logged and the next pass rebuilds it.  The loop also exits
     on ``KeyboardInterrupt`` — killing the daemon is the intended
-    shutdown, and loses no work.
+    shutdown, and loses no work: held leases are released on the way out
+    (and would expire by TTL even on a hard kill).  ``leases`` and
+    ``cache`` turn the daemon into one member of a scale-out fleet — see
+    :func:`drain_once` and :mod:`repro.serve`.
     """
     report = DrainReport()
     cycle = 0
@@ -285,6 +393,8 @@ def serve(
                     progress=progress,
                     max_attempts=max_attempts,
                     pool=pool,
+                    leases=leases,
+                    cache=cache,
                 )
             except BrokenProcessPool as exc:  # pragma: no cover - worker crash
                 if progress is not None:
@@ -297,6 +407,8 @@ def serve(
         if progress is not None:
             progress("daemon interrupted; pending cells remain drainable")
     finally:
+        if leases is not None:
+            leases.release_all()
         if pool is not None:
             pool.close()
     return report

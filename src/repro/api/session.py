@@ -23,13 +23,17 @@ import shutil
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.config import RuntimeConfig
 from repro.runtime.executor import ShardExecutor
 from repro.runtime.spec import Campaign, RunSpec, shard_name
 from repro.runtime.store import RunStore
 from repro.api.results import CampaignResult, TrajectoryResult
+
+if TYPE_CHECKING:  # runtime import stays lazy — repro.api must not pull
+    from repro.serve.cache import ResultCache  # the serve stack eagerly
 
 __all__ = [
     "Session",
@@ -299,6 +303,12 @@ class Session:
         (``None`` defers to each campaign's own ``workers`` field).
     progress:
         Optional callback receiving one line per scheduling event.
+    cache:
+        A :class:`~repro.serve.cache.ResultCache` (or a path to one, or
+        ``None`` to disable).  With a cache bound, :meth:`submit` and
+        :meth:`run` fill already-known cells from it the moment the
+        manifest lands — a resubmitted identical campaign completes
+        without a single cell execution, before any daemon even polls.
     """
 
     def __init__(
@@ -306,6 +316,7 @@ class Session:
         store: Union[RunStore, str, None] = None,
         workers: Optional[int] = None,
         progress=None,
+        cache: Union["ResultCache", str, Path, None] = None,
     ) -> None:
         if isinstance(store, RunStore):
             self.store = store
@@ -313,6 +324,12 @@ class Session:
             self.store = RunStore(store if store is not None else _DEFAULTS.store_root)
         self.workers = workers
         self.progress = progress
+        if cache is None or hasattr(cache, "fill"):
+            self.cache: Optional["ResultCache"] = cache
+        else:
+            from repro.serve.cache import ResultCache as _ResultCache
+
+            self.cache = _ResultCache(cache)
         self._tempdir: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -375,21 +392,47 @@ class Session:
         for a daemon (``repro-daemon``) or an explicit
         :func:`repro.api.daemon.drain_once`.  Re-submitting an identical
         campaign is idempotent; reusing an id with a different grid raises.
+        With a session ``cache``, cells whose content address is already
+        cached are filled right here — the fast path that makes identical
+        resubmissions (even across stores and users) return in
+        milliseconds with zero executions.
         """
         self._validate(campaign)
         self.store.create_run(campaign, exist_ok=True)
+        self._cache_fill(campaign)
         return CampaignHandle(self.store, campaign.run_id)
+
+    def _cache_fill(self, campaign: Union[Campaign, RunSpec]) -> int:
+        """Fill resultless cells from the session cache; returns the hits."""
+        if self.cache is None:
+            return 0
+        hits = 0
+        for cell in campaign.cells():
+            if self.store.has_shard_result(campaign.run_id, cell.index):
+                continue
+            if self.cache.fill(self.store, cell) is not None:
+                hits += 1
+                if self.progress is not None:
+                    self.progress(
+                        f"{campaign.run_id}/{cell.name}: filled from cache"
+                    )
+        return hits
 
     def run(self, campaign: Union[Campaign, RunSpec]) -> CampaignResult:
         """Execute the campaign synchronously and return its typed result.
 
         Equivalent to ``submit`` followed by a full drain in-process: cells
         that already have results are skipped, checkpointed cells resume,
-        so ``run`` doubles as "finish this campaign now".
+        so ``run`` doubles as "finish this campaign now".  A session
+        ``cache`` short-circuits known cells and receives the fresh ones.
         """
         self._validate(campaign)
         self.store.create_run(campaign, exist_ok=True)
+        self._cache_fill(campaign)
         self._executor().execute(campaign)
+        if self.cache is not None:
+            for cell in campaign.cells():
+                self.cache.publish(self.store, cell)
         return CampaignHandle(self.store, campaign.run_id).result()
 
     def handle(self, campaign_id: str) -> CampaignHandle:

@@ -17,10 +17,21 @@ Five entry points are exposed (see ``setup.py``):
 ``repro-daemon``
     Drain pending campaign cells from the run store through a worker pool,
     once or in a poll loop.  Killing the daemon loses no work — cells are
-    checkpointed and a later drain resumes them::
+    checkpointed and a later drain resumes them.  With ``--leases`` any
+    number of daemons share one store (claiming cells through lease files
+    — see :mod:`repro.serve`); ``--cache`` fills and feeds a
+    content-addressed result cache::
 
         repro-daemon --drain-once
         repro-daemon --workers 4 --interval 5
+        repro-daemon --leases --daemon-id box-a --cache /var/repro-cache
+
+``repro-serve``
+    The HTTP front door of a daemon fleet: submit, watch and fetch
+    campaigns remotely over a tiny JSON API (stdlib ``http.server``)::
+
+        repro-serve --store /var/repro-store --port 8080
+        curl -X POST http://localhost:8080/v1/campaigns -d @campaign.json
 
 ``repro-experiments``
     Run one, several or all experiment drivers at a chosen scale and print
@@ -70,6 +81,7 @@ __all__ = [
     "batch_main",
     "campaign_main",
     "daemon_main",
+    "serve_main",
 ]
 
 
@@ -634,6 +646,26 @@ def _daemon_parser() -> argparse.ArgumentParser:
         help="park a cell after this many failed attempts (default: "
         "3; 0 retries without bound)",
     )
+    parser.add_argument(
+        "--leases", action="store_true",
+        help="claim cells through lease files, so several daemons can "
+        "drain one store without duplicating work (see repro.serve)",
+    )
+    parser.add_argument(
+        "--daemon-id", default=None,
+        help="lease identity of this daemon (implies --leases; "
+        "default: <hostname>.<pid>)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="seconds before an unrenewed lease is considered stale and "
+        "taken over (implies --leases; default: 30)",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="content-addressed result-cache directory: known cells fill "
+        "from it instead of executing, fresh results are published to it",
+    )
     return parser
 
 
@@ -649,9 +681,31 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         max_attempts = None if args.max_attempts <= 0 else args.max_attempts
     store = RunStore(args.store)
+    leases = None
+    if args.leases or args.daemon_id is not None or args.lease_ttl is not None:
+        from repro.serve.leases import DEFAULT_TTL_SECONDS, LeaseManager
+
+        leases = LeaseManager(
+            store,
+            daemon_id=args.daemon_id,
+            ttl_seconds=(
+                args.lease_ttl if args.lease_ttl is not None else DEFAULT_TTL_SECONDS
+            ),
+        )
+        print(f"leasing as daemon {leases.daemon_id} (ttl {leases.ttl_seconds:g}s)")
+    cache = None
+    if args.cache is not None:
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(args.cache)
     if args.drain_once:
         report = drain_once(
-            store, workers=args.workers, progress=print, max_attempts=max_attempts
+            store,
+            workers=args.workers,
+            progress=print,
+            max_attempts=max_attempts,
+            leases=leases,
+            cache=cache,
         )
     else:
         report = serve(
@@ -661,12 +715,59 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             max_cycles=args.max_cycles,
             progress=print,
             max_attempts=max_attempts,
+            leases=leases,
+            cache=cache,
         )
     print(f"drained {report.executed} cell(s), {report.failed} failure(s), "
           f"{report.waiting} waiting on migration, "
+          f"{report.cache_hits} filled from cache, "
+          f"{report.skipped_leased} leased to other daemons, "
           f"{report.skipped_cancelled} cancelled-pending skipped, "
           f"{report.skipped_exhausted} parked after repeated failures")
     return 1 if report.failed else 0
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="HTTP front end over a run store: submit, watch and "
+        "fetch campaigns remotely (execution stays with repro-daemon).",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_RUNTIME.store_root,
+        help=f"run-store directory (default: {_DEFAULT_RUNTIME.store_root})",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="port to bind; 0 picks a free one (default: 8080)",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="result-cache directory: submissions fill already-known "
+        "cells immediately, before any daemon polls",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-serve``."""
+    configure_logging()
+    args = _serve_parser().parse_args(argv)
+    from repro.serve.http import serve_forever
+
+    serve_forever(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache=args.cache,
+        progress=print,
+    )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

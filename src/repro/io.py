@@ -20,6 +20,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Union
 
@@ -27,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "atomic_write",
+    "create_json_exclusive",
     "write_json_atomic",
     "write_bytes_atomic",
     "write_npz_atomic",
@@ -34,16 +36,27 @@ __all__ = [
 
 
 def atomic_write(path: Union[str, Path], write_fn: Callable[[Path], None]) -> None:
-    """Run ``write_fn`` against a sibling temp file, then rename atomically."""
+    """Run ``write_fn`` against a sibling temp file, then rename atomically.
+
+    The temp name embeds the writer's pid and thread id: concurrent
+    writers of the same path (e.g. two daemons racing an idempotent cache
+    fill — their payloads are byte-identical by construction) each stage
+    their own temp file and the renames land in either order, instead of
+    stealing one shared ``.tmp`` out from under each other.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+    )
     try:
         write_fn(tmp)
         os.replace(tmp, path)
     finally:
-        if tmp.exists():
+        try:
             tmp.unlink()
+        except FileNotFoundError:
+            pass
 
 
 def write_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
@@ -57,6 +70,32 @@ def write_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
         path,
         lambda tmp: tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)),
     )
+
+
+def create_json_exclusive(path: Union[str, Path], payload: Dict[str, Any]) -> bool:
+    """Create ``path`` with ``payload`` as JSON iff it does not exist yet.
+
+    The ``O_CREAT | O_EXCL`` open is the one filesystem primitive that
+    makes *exactly one* of N racing processes succeed — it is what the
+    lease files of :mod:`repro.serve.leases` claim cells with, and it
+    holds on local filesystems and on NFSv3+.  Returns ``True`` when this
+    call created the file, ``False`` when it already existed.  The body is
+    emitted in a single ``os.write`` (lease documents are far below
+    ``PIPE_BUF``); a reader racing the write may still observe an empty
+    file for an instant, so lease readers must treat unparseable content
+    as *corrupt, age by mtime* rather than as an error.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, json.dumps(payload, sort_keys=True).encode("utf8"))
+    finally:
+        os.close(fd)
+    return True
 
 
 def write_bytes_atomic(path: Union[str, Path], data: bytes) -> None:

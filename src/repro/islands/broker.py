@@ -42,7 +42,7 @@ from repro.islands.policy import IslandPlan, select_emigrants
 from repro.moscem.decoys import TorsionGrid
 from repro.moscem.dominance import strength_fitness
 
-__all__ = ["MigrationBroker", "WaitingForPackets"]
+__all__ = ["MigrationBroker", "WaitingForPackets", "ready_to_resume"]
 
 #: Arrays every emigrant packet carries.
 PACKET_ARRAYS = ("indices", "torsions", "coords", "closure", "scores")
@@ -62,6 +62,29 @@ class WaitingForPackets(RuntimeError):
 
 def _shard_migration_dir(store, run_id: str, shard: int) -> Path:
     return Path(store.shard_dir(run_id, shard)) / "migration"
+
+
+def ready_to_resume(store, run_id: str, status: Dict[str, Any]) -> bool:
+    """Whether a cell's status document says it can make progress *now*.
+
+    Non-waiting cells always can.  A cell parked *waiting* at a migration
+    boundary can resume only once every source shard it is waiting on has
+    emitted its packet for that epoch.  The scale-out daemon consults this
+    before claiming a lease on a waiting cell: claiming an island whose
+    sources have not emitted would execute it just to watch it re-park —
+    and, worse, would hold the lease while the daemon that drains its
+    sources is the one that should pick it up next pass.
+    """
+    if status.get("state") != "waiting":
+        return True
+    epoch = int(status.get("migration_epoch", 0))
+    if epoch <= 0:
+        return True
+    broker = MigrationBroker(store, run_id)
+    return all(
+        broker.has_packet(int(source), epoch)
+        for source in status.get("waiting_on", ())
+    )
 
 
 class MigrationBroker:

@@ -96,7 +96,7 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     # Durable writes in the store-backed subsystems must go through the
     # atomic helpers of repro/io.py (which lives outside the scope).
     "REP002": RuleConfig(
-        scope=("repro/runtime/", "repro/islands/", "repro/api/"),
+        scope=("repro/runtime/", "repro/islands/", "repro/api/", "repro/serve/"),
     ),
     # Deterministic ordering everywhere; the serialisation half of the
     # rule (json.dumps needs sort_keys=True) patrols the store-backed
@@ -106,7 +106,7 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     # modules listed in WALLCLOCK_FREE_MODULES must be wall-clock free in
     # their entirety; elsewhere only payload call sites are patrolled.
     "REP004": RuleConfig(
-        scope=("repro/runtime/", "repro/islands/", "repro/api/"),
+        scope=("repro/runtime/", "repro/islands/", "repro/api/", "repro/serve/"),
     ),
     # Kernel hot paths must stream through the pairwise chunking helpers
     # instead of materialising dense (P, P) intermediates.

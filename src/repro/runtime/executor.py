@@ -157,11 +157,16 @@ def _submit_and_wait(
     items: List[_T],
     results: List[Any],
     on_result: Optional[Callable[[int, _R], None]],
+    on_tick: Optional[Callable[[], None]],
+    tick_seconds: float,
 ) -> None:
     futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
     pending = set(futures)
+    timeout = tick_seconds if on_tick is not None else None
     while pending:
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+        if on_tick is not None:
+            on_tick()
         for future in done:
             index = futures[future]
             results[index] = future.result()
@@ -175,6 +180,8 @@ def parallel_map(
     workers: int,
     on_result: Optional[Callable[[int, _R], None]] = None,
     pool: Optional[PersistentPool] = None,
+    on_tick: Optional[Callable[[], None]] = None,
+    tick_seconds: float = 5.0,
 ) -> List[_R]:
     """Map ``fn`` over ``items`` across worker processes, in input order.
 
@@ -185,6 +192,12 @@ def parallel_map(
     finishes — out of order — which is what streams per-shard progress.
     ``pool`` supplies a :class:`PersistentPool` to reuse across calls; by
     default a throwaway pool is built and torn down per call.
+
+    ``on_tick`` is invoked from the submitting process at least every
+    ``tick_seconds`` while items are in flight (and between items on the
+    inline path) — the scale-out daemon hangs its lease-heartbeat renewal
+    here, so long-running cells keep their claims alive without threads.
+    The callback must be cheap and must not raise.
     """
     items = list(items)
     results: List[Any] = [None] * len(items)
@@ -192,6 +205,8 @@ def parallel_map(
         return results
     if workers <= 1 or len(items) == 1:
         for index, item in enumerate(items):
+            if on_tick is not None:
+                on_tick()
             results[index] = fn(item)
             if on_result is not None:
                 on_result(index, results[index])
@@ -199,7 +214,9 @@ def parallel_map(
 
     if pool is not None:
         try:
-            _submit_and_wait(pool.executor(), fn, items, results, on_result)
+            _submit_and_wait(
+                pool.executor(), fn, items, results, on_result, on_tick, tick_seconds
+            )
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; drop it so the
             # caller's next map builds a healthy pool.
@@ -209,7 +226,9 @@ def parallel_map(
 
     max_workers = min(workers, len(items))
     with ProcessPoolExecutor(max_workers=max_workers) as executor:
-        _submit_and_wait(executor, fn, items, results, on_result)
+        _submit_and_wait(
+            executor, fn, items, results, on_result, on_tick, tick_seconds
+        )
     return results
 
 

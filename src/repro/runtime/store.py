@@ -97,6 +97,17 @@ class RunStore:
         """Directory holding the merged artefacts of a run."""
         return self.run_dir(run_id) / "merged"
 
+    def lease_path(self, run_id: str, index: int) -> Path:
+        """The claim-lease file of one cell (see :mod:`repro.serve.leases`).
+
+        The store only names the path; the lease protocol (exclusive
+        create, heartbeat renewal, stale takeover) lives entirely in the
+        serve layer.  Leases are transient coordination metadata — like
+        status documents, they carry wall-clock heartbeats and are never
+        replay-compared.
+        """
+        return self.shard_dir(run_id, index) / "lease.json"
+
     # ------------------------------------------------------------------
     # Runs and manifests
     # ------------------------------------------------------------------
@@ -229,6 +240,28 @@ class RunStore:
                     f"{offset + consumed - len(raw)}: {exc}"
                 ) from exc
         return records, offset + consumed
+
+    def canonical_journal(self, run_id: str) -> bytes:
+        """The replay-invariant view of a run's journal: sorted unique lines.
+
+        The raw journal is a *stream*: event order depends on worker
+        scheduling, and a cell killed after its event but before its
+        result (or one re-reaching a migration boundary on resume) can
+        append the same record twice.  Every record's *content* is
+        deterministic — journal payloads are wall-clock-free and carry no
+        worker identity (lint rule REP004) — so sorting the lines and
+        dropping duplicates yields bytes that are a pure function of the
+        campaign spec.  This is the equality surface the N-daemon
+        kill-and-redrain tests compare: one daemon or ten, killed or not,
+        the canonical journal is byte-identical.
+        """
+        path = self.journal_path(run_id)
+        if not path.is_file():
+            return b""
+        with open(path, "rb") as handle:
+            data = handle.read()
+        lines = {raw for raw in data.split(b"\n") if raw.strip()}
+        return b"\n".join(sorted(lines)) + b"\n" if lines else b""
 
     # ------------------------------------------------------------------
     # Cancellation

@@ -1,0 +1,53 @@
+"""``repro.serve`` — multi-daemon scale-out over one shared run store.
+
+PRs 2–5 built a single-machine pipeline: campaigns persist as manifests in
+a :class:`~repro.runtime.store.RunStore`, one ``repro-daemon`` drains the
+pending cells, and every exchange between trajectories rides the store as
+files.  This package turns that pipeline into a *service* without adding a
+single new IPC channel — the store stays the only coordination substrate,
+exactly the trick the migration broker established:
+
+* :mod:`repro.serve.leases` — **lease-based cell claiming**.  Any number
+  of daemons (across machines, over a shared filesystem) drain one store;
+  each cell is claimed through an atomic exclusive-create lease file with
+  heartbeat renewal and stale-lease takeover.  Leases are an *efficiency*
+  mechanism only: cell execution is idempotent and every durable write is
+  atomic and deterministic, so even a double-claim (a daemon stalled past
+  its TTL) merely computes the same bytes twice.
+* :mod:`repro.serve.cache` — a **content-addressed result cache**.  Cell
+  seeds are derived from workload coordinates, so a canonical hash of
+  ``(target, config, seed, backend)`` fully identifies a cell's output;
+  identical cells across overlapping campaigns execute once, and
+  resubmissions fill from the cache in milliseconds.
+* :mod:`repro.serve.http` / :mod:`repro.serve.client` — a thin stdlib
+  HTTP front end (``repro-serve``) and client wrapping ``submit`` /
+  ``status`` / ``watch`` / ``result`` / ``cancel`` for remote users.
+
+Scale-out topology: N ``repro-daemon --daemon-id ...`` processes and one
+``repro-serve`` share a store directory; clients talk HTTP to the server;
+daemons never talk to anyone — they claim, execute, release.
+"""
+
+from repro.serve.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    cell_cache_key,
+    is_cacheable,
+)
+from repro.serve.client import RemoteCampaignHandle, ServeClient, ServeError
+from repro.serve.http import build_server, serve_forever
+from repro.serve.leases import Lease, LeaseManager
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "Lease",
+    "LeaseManager",
+    "RemoteCampaignHandle",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "build_server",
+    "cell_cache_key",
+    "is_cacheable",
+    "serve_forever",
+]

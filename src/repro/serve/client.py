@@ -1,0 +1,202 @@
+"""A stdlib HTTP client for ``repro-serve``.
+
+:class:`ServeClient` speaks the small JSON API of
+:mod:`repro.serve.http`; :class:`RemoteCampaignHandle` mirrors the local
+:class:`~repro.api.session.CampaignHandle` surface (``status`` /
+``watch`` / ``wait`` / ``result`` / ``cancel``) over the wire, so code
+written against a local session ports to a remote server by swapping the
+constructor.  Pure :mod:`urllib.request` — no new dependencies — and the
+client holds no state beyond the base URL: every method is one request,
+and the ``watch`` cursor is an explicit journal offset, so a client can
+crash and resume watching exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RemoteCampaignHandle", "ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request the server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = int(status)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServeClient:
+    """Talks to one ``repro-serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[int, bytes, str]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(dict(payload), sort_keys=True).encode("utf8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return (
+                    response.status,
+                    response.read(),
+                    response.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as exc:
+            # Error responses still carry a JSON body with the reason.
+            return exc.code, exc.read(), exc.headers.get("Content-Type", "")
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, body, _content_type = self._request(method, path, payload)
+        try:
+            document = json.loads(body) if body else {}
+        except ValueError:
+            document = {}
+        if status >= 400:
+            raise ServeError(status, str(document.get("error", body[:200])))
+        if not isinstance(document, dict):
+            raise ServeError(status, "server returned a non-object JSON body")
+        return document
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe; returns the server's store path."""
+        return self._json("GET", "/v1/healthz")
+
+    def campaigns(self) -> List[str]:
+        """Identifiers of every campaign in the server's store."""
+        return list(self._json("GET", "/v1/campaigns").get("campaigns", ()))
+
+    def submit(self, document: Mapping[str, Any]) -> "RemoteCampaignHandle":
+        """Submit a campaign document (the campaign-file schema, as JSON).
+
+        Returns immediately — execution belongs to the daemon fleet; the
+        returned handle polls.  Resubmitting an identical document is
+        idempotent, and with a server-side result cache the handle may
+        already be complete.
+        """
+        created = self._json("POST", "/v1/campaigns", payload=document)
+        return RemoteCampaignHandle(self, str(created["campaign_id"]))
+
+    def handle(self, campaign_id: str) -> "RemoteCampaignHandle":
+        """A handle to a previously submitted campaign (validated remotely)."""
+        handle = RemoteCampaignHandle(self, campaign_id)
+        handle.status()  # fail fast on unknown ids
+        return handle
+
+
+class RemoteCampaignHandle:
+    """Remote mirror of :class:`~repro.api.session.CampaignHandle`."""
+
+    def __init__(self, client: ServeClient, campaign_id: str) -> None:
+        self.client = client
+        self.campaign_id = campaign_id
+
+    def _path(self, verb: str) -> str:
+        return f"/v1/campaigns/{self.campaign_id}/{verb}"
+
+    def status(self) -> Dict[str, Any]:
+        """The live per-cell state (the status endpoint's JSON document)."""
+        return self.client._json("GET", self._path("status"))
+
+    def events(self, offset: int = 0) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """One journal page: ``(records, next_offset, complete)``."""
+        page = self.client._json("GET", self._path(f"events?offset={int(offset)}"))
+        return (
+            list(page.get("events", ())),
+            int(page.get("offset", offset)),
+            bool(page.get("complete", False)),
+        )
+
+    def watch(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield journal records as the daemons append them (remote tail).
+
+        Terminates when the campaign completes, is cancelled, or the
+        timeout elapses — the same contract as the local ``watch``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        offset = 0
+        while True:
+            records, offset, complete = self.events(offset)
+            for record in records:
+                yield record
+            if complete:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            if not records:
+                if self.status().get("cancelled"):
+                    return
+                time.sleep(poll_seconds)
+
+    def wait(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> Dict[str, Any]:
+        """Block until completion (or timeout); returns the final status."""
+        for _record in self.watch(timeout=timeout, poll_seconds=poll_seconds):
+            pass
+        return self.status()
+
+    def result(
+        self, timeout: Optional[float] = None, poll_seconds: float = 0.25
+    ) -> Dict[str, Any]:
+        """The typed result summary; raises :class:`ServeError` (409) if
+        cells are still pending and no ``timeout`` was given."""
+        if timeout is not None:
+            self.wait(timeout=timeout, poll_seconds=poll_seconds)
+        return self.client._json("GET", self._path("result"))
+
+    def decoys(self, index: int) -> Dict[str, np.ndarray]:
+        """Download one cell's decoy arrays (the raw ``decoys.npz``)."""
+        status, body, content_type = self.client._request(
+            "GET", self._path(f"cells/{int(index)}/decoys")
+        )
+        if status >= 400:
+            try:
+                message = str(json.loads(body).get("error", ""))
+            except ValueError:
+                message = body[:200].decode("utf8", "replace")
+            raise ServeError(status, message)
+        if "octet-stream" not in content_type:
+            raise ServeError(status, f"unexpected content type {content_type!r}")
+        with np.load(io.BytesIO(body)) as data:
+            return {name: np.array(data[name]) for name in data.files}
+
+    def cancel(self) -> None:
+        """Stop the daemons from scheduling this campaign's pending cells."""
+        self.client._json("POST", self._path("cancel"), payload={})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteCampaignHandle({self.campaign_id!r}, "
+            f"base_url={self.client.base_url!r})"
+        )

@@ -343,5 +343,6 @@ class TestCampaignCLI:
         assert daemon_main(["--store", store_root, "--drain-once"]) == 0
         assert (
             "drained 0 cell(s), 0 failure(s), 0 waiting on migration, "
+            "0 filled from cache, 0 leased to other daemons, "
             "2 cancelled-pending skipped"
         ) in capsys.readouterr().out

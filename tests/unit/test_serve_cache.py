@@ -1,0 +1,218 @@
+"""Unit tests of the content-addressed result cache.
+
+The key contract: a cell's cache key is a pure function of its workload
+coordinates — invariant to campaign axis ordering, config dict insertion
+order, labels, checkpoint cadence and backend alias spelling — and a
+cache entry either fills byte-identically or degrades to a miss (never an
+error) when poisoned.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Session, campaign
+from repro.config import SamplingConfig
+from repro.runtime import RunStore
+from repro.runtime.spec import campaign_cell_seed
+from repro.serve.cache import ResultCache, cell_cache_key, is_cacheable
+
+TINY = SamplingConfig(population_size=16, n_complexes=4, iterations=3)
+TARGETS = ["1cex(40:51)", "1akz(181:192)"]
+
+
+def _keys_by_coordinates(grid):
+    """Map each cell's workload coordinates to its cache key."""
+    return {
+        (cell.target, cell.config_name, cell.seed_index, cell.backend): (
+            cell_cache_key(cell),
+            cell.seed,
+        )
+        for cell in grid.cells()
+    }
+
+
+class TestKeyStability:
+    def test_invariant_to_campaign_axis_order(self):
+        """Permuting every campaign axis — and renaming the campaign —
+        leaves each workload's key unchanged, mirroring the axis-order
+        invariance of the cell-seed derivation."""
+        configs = {"fast": TINY, "slow": SamplingConfig(16, 4, 5)}
+        forward = campaign(
+            "axes-a", TARGETS, configs, seeds=[0, 1], backends=["gpu", "cpu"],
+            base_seed=7,
+        )
+        flipped = campaign(
+            "axes-b",
+            list(reversed(TARGETS)),
+            {"slow": SamplingConfig(16, 4, 5), "fast": TINY},
+            seeds=[1, 0],
+            backends=["cpu", "gpu"],
+            base_seed=7,
+        )
+        keys_a = _keys_by_coordinates(forward)
+        keys_b = _keys_by_coordinates(flipped)
+        assert set(keys_a) == set(keys_b)
+        for coords, (key, seed) in keys_a.items():
+            assert keys_b[coords] == (key, seed)
+            # The derived seed is itself the documented invariant surface.
+            target, config_name, seed_index, _backend = coords
+            assert seed == campaign_cell_seed(7, target, config_name, seed_index)
+
+    def test_invariant_to_config_field_order(self):
+        one = campaign(
+            "c1", TARGETS[0],
+            {"x": SamplingConfig(population_size=16, n_complexes=4, iterations=3)},
+        )
+        other = campaign(
+            "c2", TARGETS[0],
+            {"x": SamplingConfig(iterations=3, n_complexes=4, population_size=16)},
+        )
+        assert cell_cache_key(one.cell(0)) == cell_cache_key(other.cell(0))
+
+    def test_ignores_inert_fields(self):
+        """The config's own ``seed`` and the checkpoint cadence never
+        reach the trajectory, so they must not perturb the key."""
+        import dataclasses
+
+        base = campaign("inert-a", TARGETS[0], {"x": TINY}, checkpoint_every=2)
+        reseeded = campaign(
+            "inert-b",
+            TARGETS[0],
+            {"x": dataclasses.replace(TINY, seed=999)},
+            checkpoint_every=50,
+        )
+        assert cell_cache_key(base.cell(0)) == cell_cache_key(reseeded.cell(0))
+
+    def test_backend_aliases_share_one_entry(self):
+        keys = {
+            cell_cache_key(
+                campaign("alias", TARGETS[0], {"x": TINY}, backends=alias).cell(0)
+            )
+            for alias in ("gpu", "cpu-gpu", "simt")
+        }
+        assert len(keys) == 1
+
+    def test_distinct_workloads_get_distinct_keys(self):
+        base = campaign("w", TARGETS[0], {"x": TINY}).cell(0)
+        variants = [
+            campaign("w", TARGETS[1], {"x": TINY}).cell(0),
+            campaign("w", TARGETS[0], {"x": SamplingConfig(16, 4, 4)}).cell(0),
+            campaign("w", TARGETS[0], {"x": TINY}, seeds=[1]).cell(0),
+            campaign("w", TARGETS[0], {"x": TINY}, backends="cpu").cell(0),
+            campaign("w", TARGETS[0], {"x": TINY}, base_seed=1).cell(0),
+        ]
+        keys = {cell_cache_key(cell) for cell in variants}
+        assert cell_cache_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_migrating_cells_are_not_cacheable(self, tmp_path):
+        grid = campaign(
+            "isl", TARGETS[0], {"x": TINY}, seeds=3, migration="ring"
+        )
+        cell = grid.cell(0)
+        assert cell.migration is not None
+        assert not is_cacheable(cell)
+        cache = ResultCache(tmp_path / "cache")
+        store = RunStore(str(tmp_path / "store"))
+        assert not cache.publish(store, cell)
+        assert cache.fill(store, cell) is None
+        assert is_cacheable(campaign("ind", TARGETS[0], {"x": TINY}).cell(0))
+
+
+class TestRoundTrip:
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path / "cache")
+
+    def _run(self, tmp_path, cache, campaign_id, store_name):
+        grid = campaign(campaign_id, TARGETS[0], {"x": TINY}, base_seed=3, workers=1)
+        store = RunStore(str(tmp_path / store_name))
+        session = Session(store, workers=1, cache=cache)
+        result = session.run(grid)
+        return grid, store, result
+
+    def test_publish_fill_round_trip_is_byte_identical(self, tmp_path, cache):
+        grid_a, store_a, result_a = self._run(tmp_path, cache, "rt-a", "store-a")
+        key = cell_cache_key(grid_a.cell(0))
+        assert cache.has(key)
+
+        # An identical workload under a different campaign id, submitted
+        # to a *different* store, completes from the cache alone — no
+        # daemon, no execution.
+        grid_b = campaign("rt-b", TARGETS[0], {"x": TINY}, base_seed=3, workers=1)
+        store_b = RunStore(str(tmp_path / "store-b"))
+        handle = Session(store_b, cache=cache).submit(grid_b)
+        status = handle.status()
+        assert status.complete
+
+        blob_a = (store_a.shard_dir("rt-a", 0) / "decoys.npz").read_bytes()
+        blob_b = (store_b.shard_dir("rt-b", 0) / "decoys.npz").read_bytes()
+        assert blob_a == blob_b
+
+        # The summary is re-identified as the destination cell's own.
+        summary = store_b.load_shard_summary("rt-b", 0)
+        assert summary["run_id"] == "rt-b"
+        assert summary["shard"] == 0
+        assert summary["config_name"] == "x"
+        assert summary["n_decoys"] == result_a.trajectories[0].n_decoys
+
+        # Status marks the provenance; the journal carries the standard
+        # completion record (byte-compatible with an executed drain).
+        assert store_b.read_shard_status("rt-b", 0).get("cache_hit") is True
+        records, _offset = store_b.read_journal("rt-b", 0)
+        assert {
+            "type": "cell-done",
+            "shard": 0,
+            "target": TARGETS[0],
+            "n_decoys": summary["n_decoys"],
+        } in records
+
+        # The typed result round-trips through the filled store.
+        result_b = handle.result()
+        decoys_a = result_a.merged_decoys(TARGETS[0])
+        decoys_b = result_b.merged_decoys(TARGETS[0])
+        assert len(decoys_a) == len(decoys_b)
+        for da, db in zip(decoys_a, decoys_b):
+            assert np.array_equal(da.torsions, db.torsions)
+            assert da.rmsd == db.rmsd
+
+    def test_poisoned_payload_degrades_to_a_miss(self, tmp_path, cache):
+        grid, _store, _result = self._run(tmp_path, cache, "poison", "store-p")
+        cell = grid.cell(0)
+        key = cell_cache_key(cell)
+        (cache.entry_dir(key) / "decoys.npz").write_bytes(b"not an npz at all")
+
+        fresh = RunStore(str(tmp_path / "store-q"))
+        fresh.create_run(
+            campaign("poison2", TARGETS[0], {"x": TINY}, base_seed=3), exist_ok=True
+        )
+        target_cell = campaign(
+            "poison2", TARGETS[0], {"x": TINY}, base_seed=3
+        ).cell(0)
+        assert cache.fill(fresh, target_cell) is None
+        assert not cache.has(key)  # the poisoned entry was evicted
+        assert not fresh.has_shard_result("poison2", 0)
+
+    def test_truncated_marker_is_a_miss(self, tmp_path, cache):
+        grid, _store, _result = self._run(tmp_path, cache, "trunc", "store-t")
+        key = cell_cache_key(grid.cell(0))
+        (cache.entry_dir(key) / "entry.json").write_text('{"npz_sha256": "')
+
+        fresh = RunStore(str(tmp_path / "store-u"))
+        other = campaign("trunc2", TARGETS[0], {"x": TINY}, base_seed=3)
+        fresh.create_run(other, exist_ok=True)
+        assert cache.fill(fresh, other.cell(0)) is None
+
+    def test_publish_is_first_writer_wins(self, tmp_path, cache):
+        grid, store, _result = self._run(tmp_path, cache, "dup", "store-d")
+        cell = grid.cell(0)
+        key = cell_cache_key(cell)
+        marker = (cache.entry_dir(key) / "entry.json").read_bytes()
+        # Re-publishing the same (or an identical) result is a no-op.
+        assert not cache.publish(store, cell)
+        assert (cache.entry_dir(key) / "entry.json").read_bytes() == marker
+        assert json.loads(marker)["key"] == key

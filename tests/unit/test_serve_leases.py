@@ -1,0 +1,139 @@
+"""Unit tests of the lease protocol: claim, renew, takeover, release.
+
+The protocol's whole contract is: of N daemons racing for a cell, at most
+one holds a *live* lease at any instant, a crashed holder's lease becomes
+claimable after its TTL, and no step ever corrupts another daemon's
+claim.  These tests drive two :class:`LeaseManager` instances (two
+"daemons") against one store directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime.store import RunStore
+from repro.serve.leases import (
+    DEFAULT_TTL_SECONDS,
+    Lease,
+    LeaseManager,
+    default_daemon_id,
+)
+
+RUN = "lease-run"
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(str(tmp_path / "store"))
+
+
+def _managers(store, ttl=DEFAULT_TTL_SECONDS):
+    return (
+        LeaseManager(store, daemon_id="daemon-a", ttl_seconds=ttl),
+        LeaseManager(store, daemon_id="daemon-b", ttl_seconds=ttl),
+    )
+
+
+class TestClaim:
+    def test_exactly_one_claimant_wins(self, store):
+        a, b = _managers(store)
+        assert a.claim(RUN, 0)
+        assert not b.claim(RUN, 0)
+        assert a.holds(RUN, 0) and not b.holds(RUN, 0)
+        lease = b.read(RUN, 0)
+        assert lease is not None and lease.daemon == "daemon-a"
+
+    def test_claim_is_reentrant_for_the_holder(self, store):
+        a, _b = _managers(store)
+        assert a.claim(RUN, 3)
+        assert a.claim(RUN, 3)  # re-claim renews instead of failing
+        assert a.held == [(RUN, 3)]
+
+    def test_distinct_cells_are_independent(self, store):
+        a, b = _managers(store)
+        assert a.claim(RUN, 0)
+        assert b.claim(RUN, 1)
+        assert b.claim("other-run", 0)
+        assert sorted(b.held) == sorted([(RUN, 1), ("other-run", 0)])
+
+    def test_ttl_must_be_positive(self, store):
+        with pytest.raises(ValueError):
+            LeaseManager(store, ttl_seconds=0.0)
+
+    def test_default_daemon_id_is_host_dot_pid(self):
+        assert default_daemon_id().endswith(f".{os.getpid()}")
+
+
+class TestReleaseAndRenew:
+    def test_release_makes_the_cell_claimable(self, store):
+        a, b = _managers(store)
+        assert a.claim(RUN, 0)
+        a.release(RUN, 0)
+        assert not a.holds(RUN, 0)
+        assert not store.lease_path(RUN, 0).exists()
+        assert b.claim(RUN, 0)
+
+    def test_release_all_drops_everything(self, store):
+        a, _b = _managers(store)
+        for index in (0, 1, 2):
+            assert a.claim(RUN, index)
+        a.release_all()
+        assert a.held == []
+        assert not any(store.lease_path(RUN, i).exists() for i in (0, 1, 2))
+
+    def test_renew_advances_the_heartbeat(self, store):
+        a, _b = _managers(store)
+        assert a.claim(RUN, 0)
+        first = a.read(RUN, 0).heartbeat
+        time.sleep(0.02)
+        a.renew_all()
+        assert a.read(RUN, 0).heartbeat > first
+
+    def test_renew_of_unheld_lease_is_a_noop(self, store):
+        a, _b = _managers(store)
+        a.renew(RUN, 7)
+        assert not store.lease_path(RUN, 7).exists()
+
+
+class TestStaleTakeover:
+    def test_stale_lease_is_taken_over(self, store):
+        a, b = _managers(store, ttl=0.05)
+        assert a.claim(RUN, 0)
+        assert not b.claim(RUN, 0)  # still fresh
+        time.sleep(0.1)
+        assert b.claim(RUN, 0)  # aged past the TTL: usurped
+        assert b.read(RUN, 0).daemon == "daemon-b"
+
+    def test_release_after_usurpation_spares_the_new_lease(self, store):
+        a, b = _managers(store, ttl=0.05)
+        assert a.claim(RUN, 0)
+        time.sleep(0.1)
+        assert b.claim(RUN, 0)
+        # The stalled original releases: it must forget its claim without
+        # deleting the usurper's live lease.
+        a.release(RUN, 0)
+        assert not a.holds(RUN, 0)
+        assert store.lease_path(RUN, 0).exists()
+        assert b.read(RUN, 0).daemon == "daemon-b"
+
+    def test_corrupt_lease_ages_by_mtime(self, store):
+        a, _b = _managers(store, ttl=5.0)
+        path = store.lease_path(RUN, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        # Fresh-by-mtime garbage still blocks (a racer mid-create).
+        assert not a.claim(RUN, 0)
+        stale = time.time() - 60.0
+        os.utime(path, (stale, stale))
+        assert a.claim(RUN, 0)
+        assert json.loads(path.read_text())["daemon"] == "daemon-a"
+
+    def test_lease_staleness_predicate(self):
+        lease = Lease(run_id=RUN, index=0, daemon="x", heartbeat=100.0, ttl=30.0)
+        assert not lease.stale(now=120.0)
+        assert lease.stale(now=130.0)
+        assert lease.stale(now=1000.0)
