@@ -366,6 +366,8 @@ def serve(
     max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
     leases: Optional["LeaseManager"] = None,
     cache: Optional["ResultCache"] = None,
+    cache_max_entries: Optional[int] = None,
+    cache_max_age_days: Optional[float] = None,
 ) -> DrainReport:
     """Drain the store in a loop, sleeping ``poll_seconds`` between passes.
 
@@ -378,7 +380,11 @@ def serve(
     shutdown, and loses no work: held leases are released on the way out
     (and would expire by TTL even on a hard kill).  ``leases`` and
     ``cache`` turn the daemon into one member of a scale-out fleet — see
-    :func:`drain_once` and :mod:`repro.serve`.
+    :func:`drain_once` and :mod:`repro.serve`.  ``cache_max_entries`` /
+    ``cache_max_age_days`` bound the result cache: after every pass the
+    daemon prunes it LRU-by-mtime (see
+    :meth:`~repro.serve.cache.ResultCache.prune`), so a long-lived fleet
+    cannot grow the shared cache without bound.
     """
     report = DrainReport()
     cycle = 0
@@ -399,6 +405,15 @@ def serve(
             except BrokenProcessPool as exc:  # pragma: no cover - worker crash
                 if progress is not None:
                     progress(f"worker pool broke ({exc}); rebuilding next pass")
+            if cache is not None and (
+                cache_max_entries is not None or cache_max_age_days is not None
+            ):
+                pruned = cache.prune(
+                    max_age_days=cache_max_age_days,
+                    max_entries=cache_max_entries,
+                )
+                if pruned and progress is not None:
+                    progress(f"pruned {pruned} cache entries")
             cycle += 1
             if max_cycles is not None and cycle >= max_cycles:
                 break

@@ -247,6 +247,32 @@ def _gpu_backend(target, multi_score, config, **kwargs):
     return GPUBackend(target, multi_score, config, **kwargs)
 
 
+@register_backend("jax", aliases=("jax-jit",))
+def _jax_backend(target, multi_score, config, **kwargs):
+    """The batched kernels jit-compiled through the repro.xp facade.
+
+    Requires the ``jax`` wheel; construction raises
+    :class:`repro.xp.xp.NamespaceError` with installation guidance when it
+    is not importable.
+    """
+    from repro.backends.jax_backend import JAXBackend
+
+    return JAXBackend(target, multi_score, config, **kwargs)
+
+
+@register_backend("xp", aliases=("xp-numpy", "array-api"))
+def _xp_numpy_backend(target, multi_score, config, **kwargs):
+    """The facade-routed batched kernels on the eager numpy namespace.
+
+    Numerically bit-identical to the ``gpu`` backend; exists so the
+    dispatch layer itself is exercised end-to-end on machines (and CI
+    runners) without an accelerator wheel.
+    """
+    from repro.backends.jax_backend import JAXBackend
+
+    return JAXBackend(target, multi_score, config, namespace="numpy", **kwargs)
+
+
 @register_scorer("vdw")
 def _vdw_scorer(target, knowledge_base=None, block_size=None):
     """Soft-sphere van der Waals clash score (paper ref [8])."""

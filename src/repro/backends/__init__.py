@@ -12,6 +12,9 @@ The paper's program exists in two flavours that this package mirrors:
   simulated SIMT engine, one logical thread per conformation, while sorting,
   partitioning and assembly stay on the host.  Kernel timings and simulated
   host/device transfers are recorded by the engine's profiler.
+* :class:`~repro.backends.jax_backend.JAXBackend` — the batched kernels
+  bound to the :mod:`repro.xp` facade's jax namespace and compiled with
+  ``jax.jit`` (requires the ``jax`` wheel; registered as ``"jax"``).
 
 Both backends expose the same :class:`~repro.backends.base.SamplingBackend`
 interface, so the MOSCEM sampler is oblivious to which one it runs on — the
@@ -22,8 +25,15 @@ CPU and CPU-GPU programs.
 from repro.backends.base import SamplingBackend
 from repro.backends.cpu import CPUBackend
 from repro.backends.gpu import GPUBackend
+from repro.backends.jax_backend import JAXBackend
 
-__all__ = ["SamplingBackend", "CPUBackend", "GPUBackend", "make_backend"]
+__all__ = [
+    "SamplingBackend",
+    "CPUBackend",
+    "GPUBackend",
+    "JAXBackend",
+    "make_backend",
+]
 
 
 def make_backend(kind: str, target, multi_score, config, **kwargs):
@@ -31,8 +41,12 @@ def make_backend(kind: str, target, multi_score, config, **kwargs):
 
     ``"cpu"`` is the paper's scalar reference, ``"cpu-batched"`` the same
     backend routed through the population-chunked batched scoring kernels,
-    and ``"gpu"`` (aliases ``"cpu-gpu"``, ``"simt"``) the simulated SIMT
-    backend.  Additional backends can be contributed through
+    ``"gpu"`` (aliases ``"cpu-gpu"``, ``"simt"``) the simulated SIMT
+    backend, ``"jax"`` (alias ``"jax-jit"``) the xp-facade tier
+    compiled with ``jax.jit`` (requires the jax wheel), and ``"xp"``
+    (aliases ``"xp-numpy"``, ``"array-api"``) the same facade routing on
+    the eager numpy namespace — bit-identical to ``"gpu"``, available
+    everywhere.  Additional backends can be contributed through
     :func:`repro.api.registry.register_backend` or a ``repro.backends``
     setuptools entry point.
     """

@@ -155,9 +155,10 @@ def _sample_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
         "--backend",
-        choices=("cpu", "cpu-batched", "gpu"),
         default="gpu",
-        help="execution backend",
+        help="execution backend: any registered name or alias "
+        '("cpu", "cpu-batched", "gpu", "xp", "jax", ...); see '
+        "repro.api.registry",
     )
     parser.add_argument(
         "--block-size",
@@ -666,6 +667,16 @@ def _daemon_parser() -> argparse.ArgumentParser:
         help="content-addressed result-cache directory: known cells fill "
         "from it instead of executing, fresh results are published to it",
     )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="prune the result cache after each drain pass, keeping only "
+        "the newest N complete entries (LRU by entry mtime)",
+    )
+    parser.add_argument(
+        "--cache-max-age-days", type=float, default=None,
+        help="prune result-cache entries older than this many days "
+        "after each drain pass",
+    )
     return parser
 
 
@@ -707,6 +718,16 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             leases=leases,
             cache=cache,
         )
+        if cache is not None and (
+            args.cache_max_entries is not None
+            or args.cache_max_age_days is not None
+        ):
+            pruned = cache.prune(
+                max_age_days=args.cache_max_age_days,
+                max_entries=args.cache_max_entries,
+            )
+            if pruned:
+                print(f"pruned {pruned} cache entries")
     else:
         report = serve(
             store,
@@ -717,6 +738,8 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             max_attempts=max_attempts,
             leases=leases,
             cache=cache,
+            cache_max_entries=args.cache_max_entries,
+            cache_max_age_days=args.cache_max_age_days,
         )
     print(f"drained {report.executed} cell(s), {report.failed} failure(s), "
           f"{report.waiting} waiting on migration, "

@@ -12,22 +12,45 @@ Because the rotations are applied directly to Cartesian coordinates, the
 final torsion vector is re-measured from the closed coordinates — the
 round-trip property of :mod:`repro.geometry` guarantees the two
 representations stay consistent.
+
+The batched kernel has two execution paths.  The default (``kernels=None``)
+is the original numpy implementation: converged members are sliced out of
+each sweep and only members with a non-trivial angle are rotated.  When a
+:class:`~repro.xp.dispatch.KernelBundle` is supplied, each sweep instead
+runs the generic :func:`_ccd_sweep` kernel — a full-population masked
+sweep in which excluded members get a ``0.0`` angle and keep their
+original coordinates through a ``where`` selection.  The masked sweep
+computes bit-identical coordinates to the subset path while keeping
+every array shape static — the property that lets the jax tier compile
+one sweep as one ``jit`` unit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro import constants
 from repro.geometry.internal import backbone_torsions, backbone_torsions_batch
 from repro.geometry.rmsd import coordinate_rmsd, coordinate_rmsd_batch
-from repro.geometry.rotation import rotate_about_axis, rotate_points_about_axes_batch
+from repro.geometry.rotation import (
+    _normalize_last_axis,
+    _rotate_points_about_axes,
+    rotate_about_axis,
+    rotate_points_about_axes_batch,
+)
 from repro.geometry.vectors import normalize
 from repro.loops.loop import LoopTarget
-from repro.scoring.pairwise import rotation_alignment_terms
+from repro.scoring.pairwise import (
+    _rotation_alignment_terms,
+    rotation_alignment_terms,
+)
+from repro.xp.dispatch import array_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.xp.dispatch import KernelBundle
 
 __all__ = ["CCDResult", "ccd_close", "ccd_close_batch"]
 
@@ -168,12 +191,60 @@ def ccd_close(
     )
 
 
+@array_kernel("ccd_sweep", static_argnums=(4,))
+def _ccd_sweep(xp, moving, anchors, start_indices, active, n_torsions):
+    """One full CCD sweep over every pivot, masked, shapes static.
+
+    ``moving`` is the ``(P, n*4+3, 3)`` flattened atom array; ``active``
+    the ``(P,)`` mask of members still converging; ``n_torsions`` (static
+    under jit) the pivot count ``2n``.  Members excluded by the mask, the
+    per-member start indices, the noise guard or a degenerate pivot axis
+    get a ``0.0`` angle and their original coordinates are re-selected
+    after the rotation, so this computes bit-identical coordinates to the
+    subset path of :func:`ccd_close_batch`.
+    """
+    for j in range(n_torsions):
+        b_idx, c_idx, move_start = _pivot_indices(j)
+        origins = moving[:, b_idx, :]
+        raw_axes = moving[:, c_idx, :] - origins
+        axes = _normalize_last_axis(xp, raw_axes)
+
+        a, b = _rotation_alignment_terms(
+            xp, moving[:, -3:, :], anchors, origins, axes
+        )
+        angles = xp.arctan2(b, a)
+        # Same exclusions as the numpy subset path, expressed as masks:
+        # pivots before a member's mutation point, pure-noise gradient
+        # terms, degenerate axes, converged members, sub-threshold angles.
+        angles = xp.where(start_indices <= j, angles, 0.0)
+        angles = xp.where((xp.abs(a) < _EPS) & (xp.abs(b) < _EPS), 0.0, angles)
+        angles = xp.where(
+            xp.einsum("pi,pi->p", raw_axes, raw_axes) < _EPS * _EPS, 0.0, angles
+        )
+        angles = xp.where(active, angles, 0.0)
+
+        # Rotations below the angle threshold are discarded by selection,
+        # not by rotating with a zero angle: ``(p - origin) + origin`` is
+        # a lossy round trip, so excluded members must keep their original
+        # coordinates verbatim for the sweep to match the subset path bit
+        # for bit.
+        rotating = xp.abs(angles) > 1e-10
+        tail = moving[:, move_start:, :]
+        rotated = _rotate_points_about_axes(
+            xp, tail, origins, axes, angles, normalized=True
+        )
+        tail = xp.where(rotating[:, None, None], rotated, tail)
+        moving = xp.concatenate((moving[:, :move_start, :], tail), axis=1)
+    return moving
+
+
 def ccd_close_batch(
     torsions: np.ndarray,
     target: LoopTarget,
     start_indices: Optional[np.ndarray] = None,
     max_iterations: int = 30,
     tolerance: float = 0.25,
+    kernels: Optional["KernelBundle"] = None,
 ) -> CCDResult:
     """Close a whole population with CCD in lock-step (batched version).
 
@@ -195,6 +266,11 @@ def ccd_close_batch(
         Maximum number of CCD sweeps.
     tolerance:
         Closure RMSD below which a member stops being updated.
+    kernels:
+        Optional :class:`~repro.xp.dispatch.KernelBundle`: sweeps run as
+        the masked full-population :func:`_ccd_sweep` kernel (one jit unit
+        per sweep on a compiling namespace) instead of the numpy subset
+        path.  Both paths produce the same coordinates.
     """
     torsions = np.asarray(torsions, dtype=np.float64)
     n = target.n_residues
@@ -224,6 +300,14 @@ def ccd_close_batch(
         active = errors > tolerance
         if not np.any(active):
             break
+        if kernels is not None:
+            moving = kernels.to_numpy(
+                kernels.ccd_sweep(moving, anchors, start_indices, active, 2 * n)
+            )
+            errors = coordinate_rmsd_batch(moving[:, -3:, :], anchors)
+            newly = (errors <= tolerance) & (converged_at == max_iterations)
+            converged_at[newly] = sweep + 1
+            continue
         # Converged members are excluded from the whole sweep, not just the
         # rotations: all per-pivot math runs on the active subset only, so
         # the cost of a sweep shrinks as the population closes (matching

@@ -21,6 +21,12 @@ then determines, in order:
 and finally the three *closure atoms* ``N_{n+1}, CA_{n+1}, C_{n+1}`` — the
 moving copies of the C-terminal anchor backbone, which CCD tries to
 superimpose onto their fixed target positions.
+
+The batched variants are generic :mod:`repro.xp` kernels: the per-step
+placement (:func:`place_atoms_batch`) and the whole chain build
+(:func:`build_backbone_batch`, a functional rewrite whose residue loop
+unrolls at trace time) compile under the jax tier; the numpy bindings
+perform the same operations as the pre-facade code and are bit-identical.
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from typing import Tuple
 import numpy as np
 
 from repro import constants
-from repro.geometry.vectors import normalize
+from repro.geometry.rotation import _normalize_last_axis
+from repro.xp.dispatch import array_kernel
+from repro.xp.xp import numpy_namespace
+
+#: Numpy namespace the public wrappers bind the generic kernels to.
+_XP = numpy_namespace()
 
 __all__ = [
     "place_atom",
@@ -80,6 +91,31 @@ def place_atom(
     return c + d_local[0] * bc + d_local[1] * m + d_local[2] * n
 
 
+@array_kernel("place_atoms", static_argnums=(3, 4))
+def _place_atoms(xp, a, b, c, bond_length, bond_angle, torsions):
+    """Vectorised NeRF placement; ``bond_length``/``bond_angle`` are static.
+
+    Replays :func:`place_atoms_batch` exactly — same normalisation fast
+    path (:func:`repro.geometry.rotation._normalize_last_axis`), same
+    local-frame arithmetic — so the numpy binding is bit-identical.
+    """
+    a = xp.asarray(a, dtype=xp.float64)
+    b = xp.asarray(b, dtype=xp.float64)
+    c = xp.asarray(c, dtype=xp.float64)
+    torsions = xp.asarray(torsions, dtype=xp.float64)
+
+    bc = _normalize_last_axis(xp, c - b)
+    ab = b - a
+    n = _normalize_last_axis(xp, xp.cross(ab, bc))
+    m = xp.cross(n, bc)
+
+    sin_t = xp.sin(bond_angle)
+    d0 = -bond_length * xp.cos(bond_angle)
+    d1 = bond_length * sin_t * xp.cos(torsions)
+    d2 = -bond_length * sin_t * xp.sin(torsions)
+    return c + d0 * bc + d1[:, None] * m + d2[:, None] * n
+
+
 def place_atoms_batch(
     a: np.ndarray,
     b: np.ndarray,
@@ -105,21 +141,7 @@ def place_atoms_batch(
     numpy.ndarray
         ``(P, 3)`` coordinates of the newly placed atoms.
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    c = np.asarray(c, dtype=np.float64)
-    torsions = np.asarray(torsions, dtype=np.float64)
-
-    bc = normalize(c - b)
-    ab = b - a
-    n = normalize(np.cross(ab, bc))
-    m = np.cross(n, bc)
-
-    sin_t = np.sin(bond_angle)
-    d0 = -bond_length * np.cos(bond_angle)
-    d1 = bond_length * sin_t * np.cos(torsions)
-    d2 = -bond_length * sin_t * np.sin(torsions)
-    return c + d0 * bc + d1[:, None] * m + d2[:, None] * n
+    return _place_atoms(_XP, a, b, c, bond_length, bond_angle, torsions)
 
 
 def loop_atom_count(n_residues: int) -> int:
@@ -250,54 +272,63 @@ def build_backbone_batch(
     if n_anchor.shape != (3, 3):
         raise ValueError("n_anchor must have shape (3, 3): C_prev, N_1, CA_1")
 
-    coords = np.zeros(
-        (pop, n, constants.BACKBONE_ATOMS_PER_RESIDUE, 3), dtype=np.float64
-    )
-    closure = np.zeros((pop, 3, 3), dtype=np.float64)
+    coords, closure = _build_backbone_chain(_XP, torsions, n_anchor, end_phi)
+    return coords, closure
 
-    c_prev = np.broadcast_to(n_anchor[0], (pop, 3)).copy()
-    coords[:, 0, 0] = n_anchor[1]
-    coords[:, 0, 1] = n_anchor[2]
 
-    prev_c = c_prev
+@array_kernel("build_backbone_chain")
+def _build_backbone_chain(xp, torsions, n_anchor, end_phi):
+    """Generic batched chain build; the residue loop unrolls at trace time.
+
+    A functional rewrite of the original buffer-writing loop: per-residue
+    atom rows are collected and stacked instead of assigned into a
+    preallocated array.  Every placed coordinate comes from the same
+    :func:`_place_atoms` calls in the same order, so the stacked result
+    is bit-identical to the buffer version.
+    """
+    torsions = xp.asarray(torsions, dtype=xp.float64)
+    n_anchor = xp.asarray(n_anchor, dtype=xp.float64)
+    pop, two_n = torsions.shape
+    n = two_n // 2
+
+    prev_c = xp.broadcast_to(n_anchor[0], (pop, 3))
+    n_i = xp.broadcast_to(n_anchor[1], (pop, 3))
+    ca_i = xp.broadcast_to(n_anchor[2], (pop, 3))
+
+    residues = []
+    closure = None
     for i in range(n):
         phi = torsions[:, 2 * i]
         psi = torsions[:, 2 * i + 1]
-        n_i = coords[:, i, 0]
-        ca_i = coords[:, i, 1]
 
-        c_i = place_atoms_batch(
-            prev_c, n_i, ca_i,
+        c_i = _place_atoms(
+            xp, prev_c, n_i, ca_i,
             constants.BOND_CA_C, constants.ANGLE_N_CA_C, phi,
         )
-        coords[:, i, 2] = c_i
-
-        coords[:, i, 3] = place_atoms_batch(
-            n_i, ca_i, c_i,
+        o_i = _place_atoms(
+            xp, n_i, ca_i, c_i,
             constants.BOND_C_O, constants.ANGLE_CA_C_O, psi + np.pi,
         )
+        residues.append(xp.stack((n_i, ca_i, c_i, o_i), axis=1))
 
-        n_next = place_atoms_batch(
-            n_i, ca_i, c_i,
+        n_next = _place_atoms(
+            xp, n_i, ca_i, c_i,
             constants.BOND_C_N, constants.ANGLE_CA_C_N, psi,
         )
-        ca_next = place_atoms_batch(
-            ca_i, c_i, n_next,
+        ca_next = _place_atoms(
+            xp, ca_i, c_i, n_next,
             constants.BOND_N_CA, constants.ANGLE_C_N_CA,
-            np.full(pop, constants.OMEGA_TRANS),
+            xp.full(pop, constants.OMEGA_TRANS),
         )
         if i + 1 < n:
-            coords[:, i + 1, 0] = n_next
-            coords[:, i + 1, 1] = ca_next
+            n_i, ca_i = n_next, ca_next
         else:
-            c_end = place_atoms_batch(
-                c_i, n_next, ca_next,
+            c_end = _place_atoms(
+                xp, c_i, n_next, ca_next,
                 constants.BOND_CA_C, constants.ANGLE_N_CA_C,
-                np.full(pop, end_phi),
+                xp.full(pop, end_phi),
             )
-            closure[:, 0] = n_next
-            closure[:, 1] = ca_next
-            closure[:, 2] = c_end
+            closure = xp.stack((n_next, ca_next, c_end), axis=1)
         prev_c = c_i
 
-    return coords, closure
+    return xp.stack(residues, axis=1), closure

@@ -3,6 +3,12 @@
 The CCD loop-closure kernel repeatedly rotates the downstream part of a loop
 about a pivot bond.  The batched variants build one rotation matrix per
 population member in a single vectorised call.
+
+The hot batched rotation — :func:`rotate_points_about_axes_batch`, the
+innermost operation of the CCD sweep — is a generic :mod:`repro.xp`
+kernel, so the jax backend tier compiles it; the numpy binding performs
+the same operations as the pre-facade implementation and is
+bit-identical.
 """
 
 from __future__ import annotations
@@ -13,6 +19,12 @@ import numpy as np
 
 from repro.geometry.vectors import normalize
 from repro.utils.rng import spawn_rng
+from repro.xp.dispatch import array_kernel
+from repro.xp.xp import numpy_namespace
+
+#: Numpy namespace the public wrappers bind the generic kernels to.
+_XP = numpy_namespace()
+_EPS = 1e-12
 
 __all__ = [
     "axis_angle_matrix",
@@ -90,6 +102,51 @@ def rotate_about_axis(
     return (points - origin) @ rot.T + origin
 
 
+def _normalize_last_axis(xp, v):
+    """Unit-scale along the last axis; zero vectors pass through unchanged.
+
+    Replays the last-axis fast path of :func:`repro.geometry.vectors.normalize`
+    exactly (same einsum, same epsilon guard), so the numpy binding is
+    bit-identical to calling ``normalize`` directly.
+    """
+    norm = xp.sqrt(xp.einsum("...i,...i->...", v, v))[..., None]
+    safe = xp.where(norm < _EPS, 1.0, norm)
+    return v / safe
+
+
+@array_kernel("rotate_points_about_axes", static_argnames=("normalized",))
+def _rotate_points_about_axes(xp, points, origins, axes, angles, normalized=False):
+    """Rodrigues rotation of each ``(m, 3)`` point set about its own axis.
+
+    ``normalized`` is a trace-time flag (static under jit): true skips the
+    axis normalisation pass.
+    """
+    points = xp.asarray(points, dtype=xp.float64)
+    origins = xp.asarray(origins, dtype=xp.float64)[:, None, :]
+    axes = xp.asarray(axes, dtype=xp.float64)
+    if not normalized:
+        axes = _normalize_last_axis(xp, axes)
+    angles = xp.asarray(angles, dtype=xp.float64)
+
+    c = xp.cos(angles)[:, None]
+    s = xp.sin(angles)[:, None]
+    shifted = points - origins
+    x, y, z = shifted[..., 0], shifted[..., 1], shifted[..., 2]
+    kx = axes[:, 0, None]
+    ky = axes[:, 1, None]
+    kz = axes[:, 2, None]
+    t = (x * kx + y * ky + z * kz) * (1.0 - c)
+    rotated = xp.stack(
+        (
+            x * c + (ky * z - kz * y) * s + kx * t,
+            y * c + (kz * x - kx * z) * s + ky * t,
+            z * c + (kx * y - ky * x) * s + kz * t,
+        ),
+        axis=-1,
+    )
+    return rotated + origins
+
+
 def rotate_points_about_axes_batch(
     points: np.ndarray,
     origins: np.ndarray,
@@ -127,26 +184,9 @@ def rotate_points_about_axes_batch(
     the batched CCD kernel (once per pivot per sweep), and skipping the
     matrix assembly roughly halves its cost on small populations.
     """
-    points = np.asarray(points, dtype=np.float64)
-    origins = np.asarray(origins, dtype=np.float64)[:, None, :]
-    axes = np.asarray(axes, dtype=np.float64)
-    if not normalized:
-        axes = normalize(axes)
-    angles = np.asarray(angles, dtype=np.float64)
-
-    c = np.cos(angles)[:, None]
-    s = np.sin(angles)[:, None]
-    shifted = points - origins
-    x, y, z = shifted[..., 0], shifted[..., 1], shifted[..., 2]
-    kx = axes[:, 0, None]
-    ky = axes[:, 1, None]
-    kz = axes[:, 2, None]
-    t = (x * kx + y * ky + z * kz) * (1.0 - c)
-    rotated = np.empty_like(shifted)
-    rotated[..., 0] = x * c + (ky * z - kz * y) * s + kx * t
-    rotated[..., 1] = y * c + (kz * x - kx * z) * s + ky * t
-    rotated[..., 2] = z * c + (kx * y - ky * x) * s + kz * t
-    return rotated + origins
+    return _rotate_points_about_axes(
+        _XP, points, origins, axes, angles, normalized=normalized
+    )
 
 
 def random_rotation_matrix(rng: Optional[np.random.Generator] = None) -> np.ndarray:

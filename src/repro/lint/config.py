@@ -115,6 +115,18 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     ),
     # Checkpoint-schema drift gate; patrols exactly one module.
     "REP006": RuleConfig(scope=("repro/runtime/checkpoint.py",)),
+    # Functions registered with @array_kernel must do all array math
+    # through their xp namespace parameter so the same kernel body
+    # compiles under every backend tier.
+    "REP007": RuleConfig(
+        scope=(
+            "repro/scoring/",
+            "repro/moscem/",
+            "repro/geometry/",
+            "repro/closure/",
+            "repro/xp/",
+        ),
+    ),
 }
 
 #: Modules that must contain no wall-clock reading at all (REP004): their

@@ -17,6 +17,7 @@ from repro.lint.rules.ordering import UnorderedIterationRule
 from repro.lint.rules.rng import NakedRngRule
 from repro.lint.rules.schema import CheckpointSchemaRule
 from repro.lint.rules.wallclock import WallClockRule
+from repro.lint.rules.xpfacade import XpFacadeRule
 
 __all__ = ["RULES", "Rule", "Violation", "get_rules"]
 
@@ -27,6 +28,7 @@ RULES: Tuple[Type[Rule], ...] = (
     WallClockRule,
     DenseOuterRule,
     CheckpointSchemaRule,
+    XpFacadeRule,
 )
 
 

@@ -22,15 +22,29 @@ so the peak temporary is ``(N, B, K)``.  Every accumulation is either integer
 (domination counts, any-reductions) or a full-length reduction along the
 unchunked axis, so the chunked results are bit-identical to the dense path
 for every block size.
+
+The per-block comparison itself — the only dense array math here — is the
+generic :func:`_dominance_columns` kernel registered with the
+:mod:`repro.xp` facade; the streaming passes are host orchestration and
+take an optional :class:`~repro.xp.dispatch.KernelBundle` to route the
+block comparisons through a compiled namespace.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.scoring.pairwise import population_blocks
+from repro.xp.dispatch import array_kernel
+from repro.xp.xp import numpy_namespace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.xp.dispatch import KernelBundle
+
+#: Numpy namespace the public wrappers bind the generic kernels to.
+_XP = numpy_namespace()
 
 __all__ = [
     "dominates",
@@ -59,22 +73,32 @@ def dominance_matrix(scores: np.ndarray) -> np.ndarray:
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2:
         raise ValueError("scores must have shape (N, K)")
-    leq = np.all(scores[:, None, :] <= scores[None, :, :], axis=-1)
-    lt = np.any(scores[:, None, :] < scores[None, :, :], axis=-1)
-    return leq & lt
+    return _dominance_columns(_XP, scores, scores)
 
 
-def _dominance_columns(
-    scores: np.ndarray, column_scores: np.ndarray
-) -> np.ndarray:
+@array_kernel("dominance_columns")
+def _dominance_columns(xp, scores, column_scores):
     """``(N, B)`` block: whether each of N members dominates each column."""
-    leq = np.all(scores[:, None, :] <= column_scores[None, :, :], axis=-1)
-    lt = np.any(scores[:, None, :] < column_scores[None, :, :], axis=-1)
+    leq = xp.all(scores[:, None, :] <= column_scores[None, :, :], axis=-1)
+    lt = xp.any(scores[:, None, :] < column_scores[None, :, :], axis=-1)
     return leq & lt
+
+
+def _dominance_block(
+    scores: np.ndarray,
+    column_scores: np.ndarray,
+    kernels: Optional["KernelBundle"],
+) -> np.ndarray:
+    """Host-side ``(N, B)`` dominance block, via the selected bundle."""
+    if kernels is None:
+        return _dominance_columns(_XP, scores, column_scores)
+    return kernels.to_numpy(kernels.dominance_columns(scores, column_scores))
 
 
 def _strength_pass(
-    scores: np.ndarray, block_size: Optional[int]
+    scores: np.ndarray,
+    block_size: Optional[int],
+    kernels: Optional["KernelBundle"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Chunked first pass: non-dominated mask and integer domination counts.
 
@@ -87,7 +111,7 @@ def _strength_pass(
     dominated = np.zeros(n, dtype=bool)
     counts = np.zeros(n, dtype=np.int64)
     for block in population_blocks(n, block_size):
-        dom = _dominance_columns(scores, scores[block])
+        dom = _dominance_block(scores, scores[block], kernels)
         dominated[block] = np.any(dom, axis=0)
         counts += dom.sum(axis=1)
     nd_mask = ~dominated
@@ -96,7 +120,9 @@ def _strength_pass(
 
 
 def non_dominated_mask(
-    scores: np.ndarray, block_size: Optional[int] = None
+    scores: np.ndarray,
+    block_size: Optional[int] = None,
+    kernels: Optional["KernelBundle"] = None,
 ) -> np.ndarray:
     """Boolean mask of the members not dominated by any other member.
 
@@ -107,6 +133,8 @@ def non_dominated_mask(
     block_size:
         Column chunk size (see :func:`repro.scoring.pairwise.population_blocks`);
         the peak temporary is ``(N, B, K)`` instead of ``(N, N, K)``.
+    kernels:
+        Optional kernel bundle the block comparisons run through.
     """
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2:
@@ -114,12 +142,16 @@ def non_dominated_mask(
     n = scores.shape[0]
     dominated = np.zeros(n, dtype=bool)
     for block in population_blocks(n, block_size):
-        dominated[block] = np.any(_dominance_columns(scores, scores[block]), axis=0)
+        dominated[block] = np.any(
+            _dominance_block(scores, scores[block], kernels), axis=0
+        )
     return ~dominated
 
 
 def strength_fitness(
-    scores: np.ndarray, block_size: Optional[int] = None
+    scores: np.ndarray,
+    block_size: Optional[int] = None,
+    kernels: Optional["KernelBundle"] = None,
 ) -> np.ndarray:
     """Fitness of every member of a score set, per the paper's Eq. (1).
 
@@ -131,6 +163,8 @@ def strength_fitness(
         Population chunk size bounding the dominance temporaries (``None``
         or ``0`` selects the engine default); the result is bit-identical
         for every value.
+    kernels:
+        Optional kernel bundle the block comparisons run through.
 
     Returns
     -------
@@ -144,7 +178,7 @@ def strength_fitness(
     n = scores.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.float64)
-    nd_mask, counts = _strength_pass(scores, block_size)
+    nd_mask, counts = _strength_pass(scores, block_size, kernels)
 
     fitness = np.empty(n, dtype=np.float64)
     # Non-dominated: fitness equals own strength (< 1 by construction).
@@ -156,7 +190,7 @@ def strength_fitness(
     dominated_idx = np.where(~nd_mask)[0]
     for block in population_blocks(dominated_idx.size, block_size):
         cols = dominated_idx[block]
-        dominators = _dominance_columns(scores, scores[cols]) & nd_mask[:, None]
+        dominators = _dominance_block(scores, scores[cols], kernels) & nd_mask[:, None]
         count_sums = (counts[:, None] * dominators).sum(axis=0)
         fitness[cols] = 1.0 + count_sums / float(n)
     return fitness
@@ -166,6 +200,7 @@ def fitness_against(
     reference_scores: np.ndarray,
     query_scores: np.ndarray,
     block_size: Optional[int] = None,
+    kernels: Optional["KernelBundle"] = None,
 ) -> np.ndarray:
     """Fitness of query conformations evaluated against a reference set.
 
@@ -184,6 +219,8 @@ def fitness_against(
         Query chunk size bounding the ``(N, Q)`` cross-dominance temporaries
         (``None`` or ``0`` selects the engine default); the result is
         bit-identical for every value.
+    kernels:
+        Optional kernel bundle the block comparisons run through.
 
     Returns
     -------
@@ -202,13 +239,13 @@ def fitness_against(
 
     # Domination counts of the reference set (chunked over reference
     # columns); counts of dominated reference members are already zeroed.
-    ref_nd, ref_counts = _strength_pass(reference_scores, block_size)
+    ref_nd, ref_counts = _strength_pass(reference_scores, block_size, kernels)
 
     fitness = np.empty(q, dtype=np.float64)
     for block in population_blocks(q, block_size):
         queries = query_scores[block]
         # (N, B): reference member i dominates query j of the block.
-        ref_dominates_query = _dominance_columns(reference_scores, queries)
+        ref_dominates_query = _dominance_block(reference_scores, queries, kernels)
         query_nd = ~np.any(ref_dominates_query, axis=0)  # (B,)
         block_fitness = np.empty(queries.shape[0], dtype=np.float64)
 
@@ -216,8 +253,8 @@ def fitness_against(
         # (integer domination counts over the full reference axis).
         if np.any(query_nd):
             # (B_nd, N): non-dominated query i dominates reference member j.
-            query_dominates_ref = _dominance_columns(
-                queries[query_nd], reference_scores
+            query_dominates_ref = _dominance_block(
+                queries[query_nd], reference_scores, kernels
             )
             block_fitness[query_nd] = query_dominates_ref.sum(axis=1) / float(n)
         # Dominated queries: 1 + sum of strengths of dominating

@@ -16,11 +16,14 @@ Lower scores are always better.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.scoring.pairwise import resolve_block_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.xp.dispatch import KernelBundle
 
 __all__ = ["ScoringFunction", "MultiScore"]
 
@@ -44,6 +47,22 @@ class ScoringFunction(abc.ABC):
     name: str = "SCORE"
     kernel_name: str = "EvalScore"
     registers_per_thread: int = 32
+
+    #: Optional :class:`~repro.xp.dispatch.KernelBundle` the batched
+    #: engine calls route through (``None`` = the numpy default, which is
+    #: bit-identical).  Set once at stack-assembly time via
+    #: :meth:`use_kernels`; scorers whose batched path is pure table
+    #: lookup simply ignore it.
+    kernels: Optional["KernelBundle"] = None
+
+    def use_kernels(self, kernels: Optional["KernelBundle"]) -> None:
+        """Select the kernel bundle batched evaluation runs through.
+
+        Called by backends that bind the :mod:`repro.xp` facade to a
+        non-default namespace (e.g. the jax tier) when they assemble
+        their scoring stack.  Passing ``None`` restores the numpy path.
+        """
+        self.kernels = kernels
 
     @abc.abstractmethod
     def evaluate(self, coords: np.ndarray, torsions: np.ndarray) -> float:

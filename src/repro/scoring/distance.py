@@ -118,4 +118,5 @@ class DistanceScore(ScoringFunction):
             self._pair_tables,
             DISTANCE_SQ_EDGES,
             block_size=self.block_size,
+            kernels=self.kernels,
         )

@@ -25,13 +25,32 @@ Every helper is deterministic per member: evaluating a one-member
 population yields bit-identical numbers to evaluating the same member
 inside a larger chunked batch, which is what makes the scalar scoring
 paths exact special cases of the batched ones.
+
+The per-pair math lives in *generic kernels* registered with the
+:mod:`repro.xp` facade (functions taking an array namespace ``xp`` as
+first argument): the public functions below bind them to numpy once at
+import — bit-identical to the pre-facade implementations — while the
+optional ``kernels=`` parameter routes the same definitions through a
+:class:`~repro.xp.dispatch.KernelBundle` resolved at stack-assembly
+time (jit-compiled on the JAX tier).  Host-side orchestration — block
+slicing, total accumulation, the :class:`EnvironmentGrid` cell list —
+stays numpy: it is control flow, not array math.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 import numpy as np
+
+from repro.xp.dispatch import array_kernel
+from repro.xp.xp import numpy_namespace
+
+if TYPE_CHECKING:
+    from repro.xp.dispatch import KernelBundle
+
+#: The numpy namespace the public wrappers are bound to (resolved once).
+_XP = numpy_namespace()
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -83,6 +102,19 @@ def population_blocks(
         yield slice(start, min(start + step, population_size))
 
 
+@array_kernel("soft_sphere_penalty_sq")
+def _soft_sphere_penalty_sq(xp, sq_distances, sq_contacts):
+    """Generic soft-sphere penalty on squared distances (see wrapper)."""
+    sq_distances = xp.asarray(sq_distances, dtype=xp.float64)
+    sq_contacts = xp.asarray(sq_contacts, dtype=xp.float64)
+    # d^2 < r0^2 already implies r0^2 > 0, so one comparison covers both the
+    # overlap condition and the zero-contact guard.
+    mask = sq_distances < sq_contacts
+    denom = xp.where(mask, sq_contacts, 1.0)
+    overlap = xp.where(mask, sq_contacts - sq_distances, 0.0) / denom
+    return overlap * overlap
+
+
 def soft_sphere_penalty_sq(
     sq_distances: np.ndarray, sq_contacts: np.ndarray
 ) -> np.ndarray:
@@ -93,14 +125,14 @@ def soft_sphere_penalty_sq(
     produced and no warning suppression is needed.  ``sq_distances`` and
     ``sq_contacts`` must broadcast together.
     """
-    sq_distances = np.asarray(sq_distances, dtype=np.float64)
-    sq_contacts = np.asarray(sq_contacts, dtype=np.float64)
-    # d^2 < r0^2 already implies r0^2 > 0, so one comparison covers both the
-    # overlap condition and the zero-contact guard.
-    mask = sq_distances < sq_contacts
-    denom = np.where(mask, sq_contacts, 1.0)
-    overlap = np.where(mask, sq_contacts - sq_distances, 0.0) / denom
-    return overlap * overlap
+    return _soft_sphere_penalty_sq(_XP, sq_distances, sq_contacts)
+
+
+@array_kernel("indexed_sq_distances")
+def _indexed_sq_distances(xp, points_a, points_b, first, second):
+    """Generic squared distances of indexed point pairs (see wrapper)."""
+    diff = points_a[..., first, :] - points_b[..., second, :]
+    return xp.einsum("...k,...k->...", diff, diff)
 
 
 def indexed_sq_distances(
@@ -114,8 +146,19 @@ def indexed_sq_distances(
     ``points_a[..., first, :]`` is paired with ``points_b[..., second, :]``;
     the result has shape ``points_a.shape[:-2] + (len(first),)``.
     """
-    diff = points_a[..., first, :] - points_b[..., second, :]
-    return np.einsum("...k,...k->...", diff, diff)
+    return _indexed_sq_distances(_XP, points_a, points_b, first, second)
+
+
+@array_kernel("indexed_penalty_block")
+def _indexed_penalty_block(xp, points_a, points_b, first, second, sq_contacts):
+    """Per-member penalty sum of one population block (fused pair math).
+
+    ``sq_contacts`` arrives pre-broadcast as ``(1, n_pairs)``.  The
+    einsum row-sum reduces each member independently, so totals do not
+    depend on the chunk size (``np.sum``'s pairwise blocking does).
+    """
+    sq_d = _indexed_sq_distances(xp, points_a, points_b, first, second)
+    return xp.einsum("pk->p", _soft_sphere_penalty_sq(xp, sq_d, sq_contacts))
 
 
 def indexed_penalty_sum(
@@ -125,6 +168,7 @@ def indexed_penalty_sum(
     second: np.ndarray,
     sq_contacts: np.ndarray,
     block_size: Optional[int] = None,
+    kernels: Optional["KernelBundle"] = None,
 ) -> np.ndarray:
     """Per-member soft-sphere penalty sum over indexed pairs, chunked.
 
@@ -140,6 +184,10 @@ def indexed_penalty_sum(
         ``(len(first),)`` squared contact radii per pair.
     block_size:
         Population chunk size (see :func:`population_blocks`).
+    kernels:
+        Optional :class:`~repro.xp.dispatch.KernelBundle` the per-block
+        pair math runs through; ``None`` (the default) uses the
+        numpy-bound kernels, bit-identically to the pre-facade path.
     """
     pop = points_a.shape[0]
     totals = np.zeros(pop, dtype=np.float64)
@@ -147,13 +195,33 @@ def indexed_penalty_sum(
         return totals
     sq_contacts = sq_contacts[None, :]
     for block in population_blocks(pop, block_size):
-        sq_d = indexed_sq_distances(points_a[block], points_b[block], first, second)
-        # einsum row-sums reduce each member independently, so totals do
-        # not depend on the chunk size (np.sum's pairwise blocking does).
-        totals[block] = np.einsum(
-            "pk->p", soft_sphere_penalty_sq(sq_d, sq_contacts)
-        )
+        if kernels is None:
+            part = _indexed_penalty_block(
+                _XP, points_a[block], points_b[block], first, second, sq_contacts
+            )
+        else:
+            part = kernels.to_numpy(
+                kernels.indexed_penalty_block(
+                    points_a[block], points_b[block], first, second, sq_contacts
+                )
+            )
+        totals[block] = part
     return totals
+
+
+@array_kernel("rotation_alignment_terms")
+def _rotation_alignment_terms(xp, points, targets, origins, axes):
+    """Generic CCD alignment reduction (see wrapper)."""
+    r = points - origins[:, None, :]
+    f = targets[None, :, :] - origins[:, None, :]
+    r_ax = xp.einsum("pki,pi->pk", r, axes)
+    f_ax = xp.einsum("pki,pi->pk", f, axes)
+    a = xp.einsum("pki,pki->p", r, f) - xp.einsum("pk,pk->p", r_ax, f_ax)
+    cx = (r[:, :, 1] * f[:, :, 2] - r[:, :, 2] * f[:, :, 1]).sum(axis=1)
+    cy = (r[:, :, 2] * f[:, :, 0] - r[:, :, 0] * f[:, :, 2]).sum(axis=1)
+    cz = (r[:, :, 0] * f[:, :, 1] - r[:, :, 1] * f[:, :, 0]).sum(axis=1)
+    b = axes[:, 0] * cx + axes[:, 1] * cy + axes[:, 2] * cz
+    return a, b
 
 
 def rotation_alignment_terms(
@@ -191,16 +259,7 @@ def rotation_alignment_terms(
     axes:
         ``(P, 3)`` unit rotation axis per member.
     """
-    r = points - origins[:, None, :]
-    f = targets[None, :, :] - origins[:, None, :]
-    r_ax = np.einsum("pki,pi->pk", r, axes)
-    f_ax = np.einsum("pki,pi->pk", f, axes)
-    a = np.einsum("pki,pki->p", r, f) - np.einsum("pk,pk->p", r_ax, f_ax)
-    cx = (r[:, :, 1] * f[:, :, 2] - r[:, :, 2] * f[:, :, 1]).sum(axis=1)
-    cy = (r[:, :, 2] * f[:, :, 0] - r[:, :, 0] * f[:, :, 2]).sum(axis=1)
-    cz = (r[:, :, 0] * f[:, :, 1] - r[:, :, 1] * f[:, :, 0]).sum(axis=1)
-    b = axes[:, 0] * cx + axes[:, 1] * cy + axes[:, 2] * cz
-    return a, b
+    return _rotation_alignment_terms(_XP, points, targets, origins, axes)
 
 
 def squared_bin_edges(max_value: float, n_bins: int) -> np.ndarray:
@@ -217,6 +276,13 @@ def squared_bin_edges(max_value: float, n_bins: int) -> np.ndarray:
     return edges * edges
 
 
+@array_kernel("bin_squared_distances")
+def _bin_squared_distances(xp, sq_distances, sq_edges):
+    """Generic squared-distance binning (see wrapper)."""
+    bins = xp.searchsorted(sq_edges, sq_distances, side="right") - 1
+    return xp.clip(bins, 0, sq_edges.shape[0] - 1)
+
+
 def bin_squared_distances(sq_distances: np.ndarray, sq_edges: np.ndarray) -> np.ndarray:
     """Bin squared distances against pre-squared edges.
 
@@ -226,8 +292,27 @@ def bin_squared_distances(sq_distances: np.ndarray, sq_edges: np.ndarray) -> np.
     and the scoring kernels, so histogram counts and runtime lookups can
     never disagree at bin edges.
     """
-    bins = np.searchsorted(sq_edges, sq_distances, side="right") - 1
-    return np.clip(bins, 0, sq_edges.shape[0] - 1)
+    return _bin_squared_distances(_XP, sq_distances, sq_edges)
+
+
+@array_kernel("binned_gather_sum", static_argnums=(6,))
+def _binned_gather_sum(
+    xp, points, first, second, flat_tables, sq_edges, row_offsets, n_cols
+):
+    """Per-member table-gather sum of one population block.
+
+    The fused gather-and-accumulate pass: the searchsorted output is
+    turned into flat indices over the ravelled table (bin clamp, then
+    per-pair row offsets) and gathered with ``take`` — same bin rule as
+    :func:`bin_squared_distances`: values in ``[edge[k], edge[k+1])``
+    land in bin ``k``, everything at or beyond the last edge in the
+    overflow column ``n_cols - 1``.  ``n_cols`` is static under jit.
+    """
+    sq_d = _indexed_sq_distances(xp, points, points, first, second)
+    indices = xp.searchsorted(sq_edges, sq_d, side="right") - 1
+    indices = xp.clip(indices, 0, n_cols - 1) + row_offsets
+    # Chunk-size-invariant row reduction (see indexed_penalty_sum).
+    return xp.einsum("pk->p", xp.take(flat_tables, indices))
 
 
 def binned_table_sum(
@@ -237,20 +322,17 @@ def binned_table_sum(
     pair_tables: np.ndarray,
     sq_edges: np.ndarray,
     block_size: Optional[int] = None,
+    kernels: Optional["KernelBundle"] = None,
 ) -> np.ndarray:
     """Per-member sum of table values selected by squared-distance binning.
 
-    A fused gather-and-accumulate pass: per block, the searchsorted output
-    is turned *in place* into flat indices over the ravelled table (bin
-    clamp, then per-pair row offsets), gathered with :func:`numpy.take`
-    into one buffer reused across blocks, and row-reduced into the totals.
-    Nothing of shape ``(P, n_pairs)`` is ever materialised, and per block
-    the only fresh temporaries are the squared distances and the index
-    array itself — no separate clipped-bin copy, no ``table[rows, bins]``
-    fancy-index matrix.  Bin decisions, gathered values and the reduction
-    are exactly those of the two-step ``searchsorted`` + row-lookup path
-    (see ``tests/unit/test_pairwise.py``), so the fusion is bit-identical
-    for every block size.
+    Per block, one fused gather-and-accumulate kernel: flat indices over
+    the ravelled table, one ``take`` gather, one row reduction.  Nothing
+    of shape ``(P, n_pairs)`` is ever materialised outside the block.
+    Bin decisions, gathered values and the reduction are exactly those of
+    the two-step ``searchsorted`` + row-lookup path (see
+    ``tests/unit/test_pairwise.py``), so the fusion is bit-identical for
+    every block size.
 
     Parameters
     ----------
@@ -266,6 +348,9 @@ def binned_table_sum(
         ``(n_bins + 1,)`` squared bin edges from :func:`squared_bin_edges`.
     block_size:
         Population chunk size (see :func:`population_blocks`).
+    kernels:
+        Optional :class:`~repro.xp.dispatch.KernelBundle` the per-block
+        gather runs through; ``None`` uses the numpy-bound kernels.
     """
     pop = points.shape[0]
     totals = np.zeros(pop, dtype=np.float64)
@@ -274,21 +359,20 @@ def binned_table_sum(
     n_cols = pair_tables.shape[1]
     flat_tables = np.ascontiguousarray(pair_tables, dtype=np.float64).ravel()
     row_offsets = np.arange(first.size, dtype=np.intp) * n_cols
-    step = resolve_block_size(block_size, pop)
-    gathered = np.empty((step, first.size), dtype=np.float64)
     for block in population_blocks(pop, block_size):
-        sq_d = indexed_sq_distances(points[block], points[block], first, second)
-        # Same bin rule as bin_squared_distances, fused in place: values in
-        # [edge[k], edge[k+1]) land in bin k, everything at or beyond the
-        # last edge in the overflow column n_cols - 1.
-        indices = np.searchsorted(sq_edges, sq_d, side="right")
-        indices -= 1
-        np.clip(indices, 0, n_cols - 1, out=indices)
-        indices += row_offsets
-        buffer = gathered[: indices.shape[0]]
-        np.take(flat_tables, indices, out=buffer)
-        # Chunk-size-invariant row reduction (see indexed_penalty_sum).
-        totals[block] = np.einsum("pk->p", buffer)
+        if kernels is None:
+            part = _binned_gather_sum(
+                _XP, points[block], first, second,
+                flat_tables, sq_edges, row_offsets, n_cols,
+            )
+        else:
+            part = kernels.to_numpy(
+                kernels.binned_gather_sum(
+                    points[block], first, second,
+                    flat_tables, sq_edges, row_offsets, n_cols,
+                )
+            )
+        totals[block] = part
     return totals
 
 

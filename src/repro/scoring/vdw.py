@@ -211,21 +211,23 @@ class SoftSphereVDW(ScoringFunction):
         # Loop atom - loop atom.
         total = indexed_penalty_sum(
             flat, flat, self._aa_first, self._aa_second,
-            self._aa_sq_contact, self.block_size,
+            self._aa_sq_contact, self.block_size, kernels=self.kernels,
         )
         # Centroid - centroid.
         total += indexed_penalty_sum(
             centroids, centroids, self._cc_first, self._cc_second,
-            self._cc_sq_contact, self.block_size,
+            self._cc_sq_contact, self.block_size, kernels=self.kernels,
         )
         # Loop atom - centroid.
         total += indexed_penalty_sum(
             flat, centroids, self._ac_atom, self._ac_cen,
-            self._ac_sq_contact, self.block_size,
+            self._ac_sq_contact, self.block_size, kernels=self.kernels,
         )
 
         # Loop atoms / centroids against the protein environment, pruned
-        # through the cell grid to the O(neighbours) candidate pairs.
+        # through the cell grid to the O(neighbours) candidate pairs.  The
+        # ragged cell-list gather is host-side by design (data-dependent
+        # shapes don't jit), so this term always runs on numpy.
         if self._env_grid is not None:
             total += self._env_grid.penalty_sum(
                 flat, self._env_atom_sq_contact, self.block_size,

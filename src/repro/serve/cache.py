@@ -199,6 +199,98 @@ class ResultCache:
             except OSError:
                 pass
 
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def _remove_entry(self, key: str) -> None:
+        """Remove one entry completely (marker first), best-effort.
+
+        The marker goes first so a concurrent reader sees a clean miss
+        (which falls back to execution — always correct) rather than a
+        poisoned entry.  Leftover files (interrupted writers' temp files)
+        and the emptied fan-out directories are swept afterwards.
+        """
+        entry = self.entry_dir(key)
+        self._evict(key)
+        try:
+            for leftover in sorted(entry.iterdir()):
+                leftover.unlink()
+            entry.rmdir()
+            entry.parent.rmdir()  # only succeeds once the shard is empty
+        except OSError:
+            pass
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Evict cache entries by age and count; returns how many went.
+
+        Recency is the mtime of an entry's terminal marker
+        (``entry.json``, written last and atomically):
+
+        * ``max_age_days`` — entries whose marker is older are removed;
+        * ``max_entries`` — the newest N complete entries survive, the
+          rest are removed (LRU by marker mtime, ties broken by key so
+          the outcome is deterministic).
+
+        Directories *without* a marker are half-written entries: either a
+        publisher is mid-write right now or one crashed.  They are never
+        counted against ``max_entries`` and are removed only by the age
+        criterion (judged by their newest file), so an in-flight publish
+        is never swept out from under its writer.  ``now`` overrides the
+        wall clock for tests.  Both limits ``None`` is a no-op.
+        """
+        if max_age_days is None and max_entries is None:
+            return 0
+        if now is None:
+            import time
+
+            now = time.time()
+        if not self.root.is_dir():
+            return 0
+
+        complete = []  # (marker_mtime, key)
+        doomed = set()
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if not entry.is_dir():
+                    continue
+                try:
+                    mtime = (entry / self.ENTRY_NAME).stat().st_mtime
+                except OSError:
+                    if max_age_days is not None:
+                        try:
+                            newest = max(
+                                (f.stat().st_mtime for f in entry.iterdir()),
+                                default=0.0,
+                            )
+                        except OSError:
+                            continue
+                        if now - newest > max_age_days * 86400.0:
+                            doomed.add(entry.name)
+                    continue
+                complete.append((mtime, entry.name))
+
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            doomed.update(key for mtime, key in complete if mtime < cutoff)
+        if max_entries is not None:
+            survivors = sorted(
+                (item for item in complete if item[1] not in doomed),
+                key=lambda item: (-item[0], item[1]),
+            )
+            doomed.update(key for _, key in survivors[max_entries:])
+
+        for key in sorted(doomed):
+            self._remove_entry(key)
+        return len(doomed)
+
     def fill(
         self, store: RunStore, cell: CellSpec, key: Optional[str] = None
     ) -> Optional[Dict[str, Any]]:

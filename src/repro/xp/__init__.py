@@ -1,0 +1,58 @@
+"""``repro.xp`` — the array-API kernel facade.
+
+One thin layer between the hot math and the array library executing it:
+
+* :mod:`repro.xp.xp` — namespace resolution (numpy default, JAX
+  optional) and capability flags;
+* :mod:`repro.xp.dispatch` — the kernel registry and
+  :class:`KernelBundle`, the namespace-bound kernel set resolved once
+  at stack-assembly time;
+* :mod:`repro.xp.compile` — jit/vmap wrapping with static-argument
+  handling, a no-op on numpy.
+
+The numpy path is the determinism baseline: every ported kernel run
+through the facade is bit-identical to its pre-facade implementation.
+The JAX path (``backend = "jax"`` in a campaign TOML, resolved through
+the ``repro.backends`` registry) compiles the same kernel definitions
+with ``jax.jit`` in 64-bit mode.
+"""
+
+from repro.xp.compile import block_until_ready, maybe_jit, maybe_vmap
+from repro.xp.dispatch import (
+    KernelBundle,
+    KernelSpec,
+    array_kernel,
+    bind_kernels,
+    kernel_names,
+    numpy_kernels,
+)
+from repro.xp.xp import (
+    ArrayNamespace,
+    NamespaceError,
+    available_namespaces,
+    default_namespace,
+    get_namespace,
+    has_jax,
+    jax_namespace,
+    numpy_namespace,
+)
+
+__all__ = [
+    "ArrayNamespace",
+    "KernelBundle",
+    "KernelSpec",
+    "NamespaceError",
+    "array_kernel",
+    "available_namespaces",
+    "bind_kernels",
+    "block_until_ready",
+    "default_namespace",
+    "get_namespace",
+    "has_jax",
+    "jax_namespace",
+    "kernel_names",
+    "maybe_jit",
+    "maybe_vmap",
+    "numpy_kernels",
+    "numpy_namespace",
+]

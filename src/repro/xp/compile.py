@@ -1,0 +1,129 @@
+"""Optional jit/vmap wrapping of namespace-bound kernels.
+
+The facade's compilation tier: given a callable already bound to an
+:class:`~repro.xp.xp.ArrayNamespace`, :func:`maybe_jit` /
+:func:`maybe_vmap` return it compiled (JAX) or unchanged (numpy).  The
+decision is taken **once**, when a kernel bundle is assembled
+(:mod:`repro.xp.dispatch`), never per call — the numpy path therefore
+pays literally nothing for the existence of the JAX tier.
+
+Static arguments
+----------------
+JAX recompiles a jitted function per distinct value of its *static*
+arguments, and traces everything else.  Kernel specs declare which
+positions/keywords are static (Python ints like residue counts, flags
+like ``normalized=``): those must be hashable and low-cardinality.
+Array arguments are always traced.  On numpy the declarations are
+inert.
+
+Synchronisation
+---------------
+JAX dispatch is asynchronous; a wall-clock around a jitted call measures
+launch latency, not execution.  :func:`block_until_ready` gives the
+benchmark harness a namespace-agnostic barrier (identity on numpy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.xp.xp import ArrayNamespace, get_namespace
+
+__all__ = [
+    "block_until_ready",
+    "maybe_jit",
+    "maybe_vmap",
+]
+
+
+def maybe_jit(
+    fn: Callable[..., Any],
+    namespace: Union[ArrayNamespace, str, None],
+    *,
+    static_argnums: Sequence[int] = (),
+    static_argnames: Sequence[str] = (),
+) -> Callable[..., Any]:
+    """``jax.jit(fn)`` on a jit-capable namespace, ``fn`` itself otherwise.
+
+    ``fn`` must already be namespace-bound (its array arguments are the
+    public ones; the namespace is closed over, not passed).  The wrapper
+    is constructed here once; JAX's own call-signature cache handles
+    per-shape compilation afterwards.
+    """
+    ns = get_namespace(namespace)
+    if not ns.can_jit:
+        return fn
+    import jax
+
+    return jax.jit(
+        fn,
+        static_argnums=tuple(static_argnums) or None,
+        static_argnames=tuple(static_argnames) or None,
+    )
+
+
+def maybe_vmap(
+    fn: Callable[..., Any],
+    namespace: Union[ArrayNamespace, str, None],
+    *,
+    in_axes: Any = 0,
+) -> Callable[..., Any]:
+    """``jax.vmap(fn)`` on a vmap-capable namespace.
+
+    On numpy this returns a plain stacking loop over axis 0 of every
+    mapped argument — semantically equivalent, eager, and only intended
+    for cold paths and tests (the hot numpy kernels are hand-vectorised
+    already; vmap is how the *JAX* tier gets population batching out of
+    per-member kernel definitions).
+    """
+    ns = get_namespace(namespace)
+    if ns.can_vmap:
+        import jax
+
+        return jax.vmap(fn, in_axes=in_axes)
+
+    import numpy as np
+
+    def _mapped(*args: Any) -> Any:
+        axes = in_axes if isinstance(in_axes, (tuple, list)) else [in_axes] * len(args)
+        if len(axes) != len(args):
+            raise ValueError(
+                f"in_axes describes {len(axes)} arguments, got {len(args)}"
+            )
+        sizes = {
+            np.asarray(arg).shape[0]
+            for arg, axis in zip(args, axes)
+            if axis is not None
+        }
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent mapped axis sizes: {sorted(sizes)}")
+        (size,) = sizes
+        rows = []
+        for i in range(size):
+            call = [
+                arg if axis is None else np.asarray(arg)[i]
+                for arg, axis in zip(args, axes)
+            ]
+            rows.append(fn(*call))
+        first = rows[0]
+        if isinstance(first, tuple):
+            return tuple(np.stack(parts) for parts in zip(*rows))
+        return np.stack(rows)
+
+    return _mapped
+
+
+def block_until_ready(value: Any) -> Any:
+    """Synchronisation barrier: wait for async (JAX) values, pass others.
+
+    Walks tuples/lists so multi-output kernels can be awaited in one
+    call.  numpy arrays (and scalars) are returned unchanged.
+    """
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            block_until_ready(item)
+        return value
+    waiter: Optional[Callable[[], Any]] = getattr(value, "block_until_ready", None)
+    if waiter is not None:
+        waiter()
+    return value

@@ -1,0 +1,220 @@
+"""Kernel registration and one-time, zero-overhead binding.
+
+The hot-math modules (``scoring/pairwise.py``, ``moscem/dominance.py``,
+``geometry/nerf.py``, ``closure/ccd.py``, ``geometry/rotation.py``)
+define their kernels *generically* — functions taking an
+:class:`~repro.xp.xp.ArrayNamespace` as first argument — and register
+them here with :func:`array_kernel`.  A :class:`KernelBundle` is the
+namespace-bound view of that registry: every kernel closed over one
+namespace, jit-compiled where the namespace supports it, assembled
+**once** and cached per namespace.
+
+Binding happens at stack-assembly time (scorer construction, backend
+construction), so the per-call cost of the facade is one attribute read
+on the bundle — no string lookup, no isinstance dispatch, no namespace
+resolution inside any loop.  ``numpy_kernels()`` is the module-level
+default every ported public function uses; it forwards straight to
+numpy and is bit-identical to the pre-facade implementations
+(property-tested in ``tests/property/test_xp_facade.py``).
+
+Registration etiquette: a kernel must be pure (no in-place mutation of
+its *arguments*, no host branching on traced values), must do all array
+math through the ``xp`` parameter — rule REP007 enforces this
+statically — and may branch on the namespace's capability flags only
+where the execution models differ (those branches resolve at trace
+time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.xp.compile import maybe_jit
+from repro.xp.xp import ArrayNamespace, get_namespace
+
+__all__ = [
+    "KernelBundle",
+    "KernelSpec",
+    "array_kernel",
+    "bind_kernels",
+    "kernel_names",
+    "numpy_kernels",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelSpec:
+    """One registered generic kernel and its compilation contract.
+
+    Attributes
+    ----------
+    name:
+        Bundle attribute the bound kernel is exposed under (a Python
+        identifier, unique across the registry).
+    fn:
+        The generic implementation ``fn(xp, *args, **kwargs)``.
+    jit:
+        Whether jit-capable namespaces should compile the binding.
+        Kernels with data-dependent output shapes or host-side loops
+        over traced values must register ``jit=False``.
+    static_argnums / static_argnames:
+        Positions (in the *bound* signature, i.e. excluding ``xp``) and
+        keywords treated as static under jit — hashable, recompile-per-
+        value arguments like residue counts and boolean flags.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    jit: bool = True
+    static_argnums: Tuple[int, ...] = ()
+    static_argnames: Tuple[str, ...] = ()
+
+
+#: The kernel registry, keyed by kernel name, insertion-ordered.
+_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def array_kernel(
+    name: Optional[str] = None,
+    *,
+    jit: bool = True,
+    static_argnums: Sequence[int] = (),
+    static_argnames: Sequence[str] = (),
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a generic kernel (decorator).
+
+    The decorated function is returned unchanged, so modules can still
+    call the generic form directly (e.g. from another kernel, passing
+    their own ``xp`` through).
+    """
+
+    def _register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        kernel_name = name if name is not None else fn.__name__.lstrip("_")
+        if not kernel_name.isidentifier():
+            raise ValueError(f"kernel name {kernel_name!r} must be an identifier")
+        if kernel_name in _REGISTRY:
+            raise ValueError(f"kernel {kernel_name!r} is already registered")
+        _REGISTRY[kernel_name] = KernelSpec(
+            name=kernel_name,
+            fn=fn,
+            jit=jit,
+            static_argnums=tuple(static_argnums),
+            static_argnames=tuple(static_argnames),
+        )
+        return fn
+
+    return _register
+
+
+def kernel_names() -> List[str]:
+    """Sorted names of every registered kernel."""
+    _load_kernel_modules()
+    return sorted(_REGISTRY)
+
+
+class KernelBundle:
+    """Every registered kernel bound to one namespace, as attributes.
+
+    Instances are assembled by :func:`bind_kernels` and cached; holding
+    a bundle is holding the resolved kernel set, so call sites read
+    ``bundle.soft_sphere_penalty_sq`` as a plain attribute — the whole
+    dispatch already happened.
+    """
+
+    def __init__(self, namespace: ArrayNamespace) -> None:
+        self.namespace = namespace
+        self._names: List[str] = []
+        for spec in _REGISTRY.values():
+            bound = _bind_one(spec, namespace)
+            setattr(self, spec.name, bound)
+            self._names.append(spec.name)
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        if name not in self._names:
+            raise KeyError(f"unknown kernel {name!r}; known: {sorted(self._names)}")
+        return getattr(self, name)
+
+    def names(self) -> List[str]:
+        """Sorted names of the kernels bound in this bundle."""
+        return sorted(self._names)
+
+    def to_numpy(self, array: Any) -> Any:
+        """Materialise a kernel output on the host (identity on numpy)."""
+        return self.namespace.to_numpy(array)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelBundle({self.namespace.name!r}, "
+            f"{len(self._names)} kernels)"
+        )
+
+
+def _bind_one(spec: KernelSpec, namespace: ArrayNamespace) -> Callable[..., Any]:
+    """Close one kernel over ``namespace``; jit it where supported."""
+    generic = spec.fn
+
+    @functools.wraps(generic)
+    def bound(*args: Any, **kwargs: Any) -> Any:
+        return generic(namespace, *args, **kwargs)
+
+    if spec.jit and namespace.can_jit:
+        return maybe_jit(
+            bound,
+            namespace,
+            static_argnums=spec.static_argnums,
+            static_argnames=spec.static_argnames,
+        )
+    return bound
+
+
+#: Bound bundles, one per namespace name.
+_BUNDLES: Dict[str, KernelBundle] = {}
+
+#: Modules whose import populates the registry.  Imported lazily on the
+#: first bind so ``repro.xp`` stays import-light and cycle-free (the
+#: kernel modules import :func:`array_kernel` from here).
+_KERNEL_MODULES: Tuple[str, ...] = (
+    "repro.scoring.pairwise",
+    "repro.moscem.dominance",
+    "repro.geometry.rotation",
+    "repro.geometry.nerf",
+    "repro.closure.ccd",
+)
+
+_MODULES_LOADED = False
+
+
+def _load_kernel_modules() -> None:
+    global _MODULES_LOADED
+    if _MODULES_LOADED:
+        return
+    _MODULES_LOADED = True
+    import importlib
+
+    for module in _KERNEL_MODULES:
+        importlib.import_module(module)
+
+
+def bind_kernels(
+    namespace: Union[ArrayNamespace, str, None] = None,
+) -> KernelBundle:
+    """The kernel bundle of ``namespace`` (assembled once, then cached).
+
+    ``None`` selects the numpy default.  This is the stack-assembly
+    entry point: scorers and backends call it in their constructors and
+    keep the bundle for their lifetime.
+    """
+    ns = get_namespace(namespace)
+    bundle = _BUNDLES.get(ns.name)
+    if bundle is None:
+        _load_kernel_modules()
+        bundle = KernelBundle(ns)
+        _BUNDLES[ns.name] = bundle
+    return bundle
+
+
+def numpy_kernels() -> KernelBundle:
+    """The numpy-bound bundle — the default and determinism baseline."""
+    return bind_kernels(None)

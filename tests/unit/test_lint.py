@@ -221,6 +221,111 @@ class TestDenseOuter:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — numpy inside @array_kernel functions
+# ---------------------------------------------------------------------------
+
+
+class TestXpFacade:
+    def test_np_call_inside_kernel_flagged(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from repro.xp.dispatch import array_kernel
+
+            @array_kernel("bad")
+            def _bad(xp, values):
+                return np.sum(values)
+            """,
+            filename="repro/scoring/mod.py",
+        )
+        assert _codes(findings) == ["REP007"]
+
+    def test_called_decorator_form_detected(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from repro.xp import dispatch
+
+            @dispatch.array_kernel("bad", static_argnums=(1,))
+            def _bad(xp, values, n):
+                return np.take(values, n)
+            """,
+            filename="repro/geometry/mod.py",
+        )
+        assert _codes(findings) == ["REP007"]
+
+    def test_xp_math_exempt(self):
+        findings = _lint(
+            """
+            from repro.xp.dispatch import array_kernel
+
+            @array_kernel("good")
+            def _good(xp, values):
+                return xp.einsum("pk->p", xp.asarray(values, dtype=xp.float64))
+            """,
+            filename="repro/moscem/mod.py",
+        )
+        assert _codes(findings) == []
+
+    def test_scalar_constants_exempt(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from repro.xp.dispatch import array_kernel
+
+            @array_kernel("good")
+            def _good(xp, angles):
+                return xp.sin(angles + np.pi) * np.e
+            """,
+            filename="repro/closure/mod.py",
+        )
+        assert _codes(findings) == []
+
+    def test_host_orchestration_outside_kernels_exempt(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def host_loop(points):
+                totals = np.zeros(points.shape[0])
+                return totals
+            """,
+            filename="repro/scoring/mod.py",
+        )
+        assert _codes(findings) == []
+
+    def test_outside_kernel_dirs_not_patrolled(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from repro.xp.dispatch import array_kernel
+
+            @array_kernel("bad")
+            def _bad(xp, values):
+                return np.sum(values)
+            """,
+            filename="repro/analysis/mod.py",
+        )
+        assert _codes(findings) == []
+
+    def test_suppression_with_justification(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from repro.xp.dispatch import array_kernel
+
+            @array_kernel("edge", jit=False)
+            def _edge(xp, values):
+                # repro-lint: disable=REP007 -- host-only gather, jit=False
+                return np.take(values, 0)
+            """,
+            filename="repro/scoring/mod.py",
+        )
+        assert _codes(findings) == []
+        assert _codes(findings, include_suppressed=True) == ["REP007"]
+
+
+# ---------------------------------------------------------------------------
 # REP006 — checkpoint schema drift
 # ---------------------------------------------------------------------------
 

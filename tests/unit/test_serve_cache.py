@@ -216,3 +216,102 @@ class TestRoundTrip:
         assert not cache.publish(store, cell)
         assert (cache.entry_dir(key) / "entry.json").read_bytes() == marker
         assert json.loads(marker)["key"] == key
+
+
+class TestPrune:
+    """LRU-by-mtime eviction: the marker's mtime is the recency signal."""
+
+    NOW = 1_000_000.0
+
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path / "cache")
+
+    def _make_entry(self, cache, key, age_seconds, complete=True):
+        """Synthesise one entry whose files are ``age_seconds`` old."""
+        import os
+
+        entry = cache.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        mtime = self.NOW - age_seconds
+        (entry / ResultCache.DECOYS_NAME).write_bytes(b"blob")
+        (entry / ResultCache.RESULT_NAME).write_text("{}")
+        os.utime(entry / ResultCache.DECOYS_NAME, (mtime, mtime))
+        os.utime(entry / ResultCache.RESULT_NAME, (mtime, mtime))
+        if complete:
+            (entry / ResultCache.ENTRY_NAME).write_text('{"key": "x"}')
+            os.utime(entry / ResultCache.ENTRY_NAME, (mtime, mtime))
+        return key
+
+    def test_no_limits_is_a_no_op(self, cache):
+        self._make_entry(cache, "aa11", age_seconds=0.0)
+        assert cache.prune(now=self.NOW) == 0
+        assert cache.has("aa11")
+
+    def test_missing_root_is_a_no_op(self, cache):
+        assert cache.prune(max_entries=1, max_age_days=1.0, now=self.NOW) == 0
+
+    def test_max_entries_keeps_the_newest(self, cache):
+        for index, key in enumerate(["aa01", "bb02", "cc03", "dd04"]):
+            self._make_entry(cache, key, age_seconds=index * 100.0)
+        assert cache.prune(max_entries=2, now=self.NOW) == 2
+        assert cache.has("aa01") and cache.has("bb02")
+        assert not cache.has("cc03") and not cache.has("dd04")
+        # The evicted entries' directories (and their emptied fan-out
+        # shards) are gone entirely, not just their marker files.
+        assert not cache.entry_dir("cc03").exists()
+        assert not cache.entry_dir("cc03").parent.exists()
+
+    def test_max_age_evicts_stale_entries(self, cache):
+        self._make_entry(cache, "aa01", age_seconds=0.5 * 86400.0)
+        self._make_entry(cache, "bb02", age_seconds=3.0 * 86400.0)
+        assert cache.prune(max_age_days=1.0, now=self.NOW) == 1
+        assert cache.has("aa01")
+        assert not cache.has("bb02")
+
+    def test_limits_compose(self, cache):
+        self._make_entry(cache, "aa01", age_seconds=0.0)
+        self._make_entry(cache, "bb02", age_seconds=10.0)
+        self._make_entry(cache, "cc03", age_seconds=5.0 * 86400.0)
+        assert cache.prune(max_age_days=1.0, max_entries=1, now=self.NOW) == 2
+        assert cache.has("aa01")
+
+    def test_markerless_entry_never_counted_against_max_entries(self, cache):
+        """A half-written entry (publisher mid-write or crashed) must not
+        displace a complete one from the survivor count, nor be swept by
+        the count criterion itself."""
+        self._make_entry(cache, "aa01", age_seconds=50.0)
+        self._make_entry(cache, "bb02", age_seconds=0.0, complete=False)
+        assert cache.prune(max_entries=1, now=self.NOW) == 0
+        assert cache.has("aa01")
+        assert cache.entry_dir("bb02").is_dir()
+
+    def test_markerless_entry_is_age_pruned_by_its_newest_file(self, cache):
+        self._make_entry(cache, "aa01", age_seconds=3.0 * 86400.0, complete=False)
+        self._make_entry(cache, "bb02", age_seconds=0.0, complete=False)
+        assert cache.prune(max_age_days=1.0, now=self.NOW) == 1
+        assert not cache.entry_dir("aa01").exists()
+        assert cache.entry_dir("bb02").is_dir()
+
+    def test_lru_ties_break_deterministically(self, cache):
+        for key in ["dd04", "aa01", "cc03", "bb02"]:
+            self._make_entry(cache, key, age_seconds=7.0)
+        assert cache.prune(max_entries=2, now=self.NOW) == 2
+        # Equal mtimes: survivors are the lexicographically smallest keys.
+        assert cache.has("aa01") and cache.has("bb02")
+        assert not cache.has("cc03") and not cache.has("dd04")
+
+    def test_pruned_entry_is_a_clean_miss(self, tmp_path, cache):
+        """After pruning, a formerly cached workload falls back to
+        execution exactly like a cold miss."""
+        grid = campaign("pr", TARGETS[0], {"x": TINY}, base_seed=3, workers=1)
+        store = RunStore(str(tmp_path / "store-pr"))
+        Session(store, workers=1, cache=cache).run(grid)
+        key = cell_cache_key(grid.cell(0))
+        assert cache.has(key)
+        assert cache.prune(max_entries=0) == 1
+        assert not cache.has(key)
+        fresh = RunStore(str(tmp_path / "store-pr2"))
+        other = campaign("pr2", TARGETS[0], {"x": TINY}, base_seed=3)
+        fresh.create_run(other, exist_ok=True)
+        assert cache.fill(fresh, other.cell(0)) is None

@@ -1,0 +1,165 @@
+"""Unit tests of the repro.xp machinery itself.
+
+The facade's three layers in isolation: namespace resolution and the
+attribute-forwarding proxy (:mod:`repro.xp.xp`), the kernel registry and
+per-namespace binding cache (:mod:`repro.xp.dispatch`), and the optional
+jit/vmap wrapping with its eager numpy fallbacks
+(:mod:`repro.xp.compile`).  The numeric contracts of the *ported* kernels
+live in ``tests/property/test_xp_facade.py``; this file covers the
+plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.xp import (
+    ArrayNamespace,
+    NamespaceError,
+    available_namespaces,
+    bind_kernels,
+    block_until_ready,
+    default_namespace,
+    get_namespace,
+    has_jax,
+    kernel_names,
+    maybe_jit,
+    maybe_vmap,
+    numpy_kernels,
+    numpy_namespace,
+)
+from repro.xp.dispatch import array_kernel
+
+
+class TestNamespaces:
+    def test_numpy_namespace_is_a_singleton(self):
+        assert numpy_namespace() is numpy_namespace()
+        assert get_namespace("numpy") is numpy_namespace()
+        assert get_namespace(None) is default_namespace()
+
+    def test_capability_flags(self):
+        ns = numpy_namespace()
+        assert ns.eager and ns.mutable
+        assert not ns.can_jit and not ns.can_vmap
+
+    def test_attribute_forwarding_and_memoisation(self):
+        ns = numpy_namespace()
+        assert ns.float64 is np.float64
+        # After the first access the attribute is an instance attribute,
+        # not a __getattr__ round trip.
+        assert "einsum" not in ns.__dict__ or ns.einsum is np.einsum
+        _ = ns.einsum
+        assert ns.__dict__["einsum"] is np.einsum
+
+    def test_missing_attribute_names_the_namespace(self):
+        with pytest.raises(AttributeError, match="numpy"):
+            numpy_namespace().definitely_not_an_array_api_function
+
+    def test_update_at_mutates_in_place_on_numpy(self):
+        ns = numpy_namespace()
+        arr = np.zeros(4)
+        out = ns.update_at(arr, 2, 7.0)
+        assert out is arr
+        np.testing.assert_array_equal(arr, [0.0, 0.0, 7.0, 0.0])
+
+    def test_to_numpy_is_identity_like_on_numpy(self):
+        arr = np.arange(3.0)
+        np.testing.assert_array_equal(numpy_namespace().to_numpy(arr), arr)
+
+    def test_unknown_namespace_lists_nothing_vague(self):
+        with pytest.raises(NamespaceError):
+            get_namespace("cuda")
+
+    def test_available_namespaces_reflects_the_jax_probe(self):
+        names = available_namespaces()
+        assert "numpy" in names
+        assert ("jax" in names) == has_jax()
+
+
+class TestDispatch:
+    def test_registry_is_sorted_and_stable(self):
+        names = kernel_names()
+        assert names == sorted(names)
+        assert "ccd_sweep" in names and "dominance_columns" in names
+
+    def test_bundle_is_cached_per_namespace(self):
+        assert bind_kernels("numpy") is bind_kernels("np")
+        assert numpy_kernels() is bind_kernels("numpy")
+
+    def test_bundle_lookup_by_name_and_attribute(self):
+        bundle = numpy_kernels()
+        assert bundle["dominance_columns"] is bundle.dominance_columns
+        with pytest.raises(KeyError):
+            bundle["not_a_kernel"]
+
+    def test_duplicate_kernel_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @array_kernel("dominance_columns")
+            def _clash(xp, x):  # pragma: no cover - registration must fail
+                return x
+
+    def test_non_identifier_kernel_name_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+
+            @array_kernel("not an identifier")
+            def _bad(xp, x):  # pragma: no cover - registration must fail
+                return x
+
+    def test_bound_kernels_do_not_take_xp(self):
+        """Binding closes over the namespace: callers pass arrays only."""
+        bundle = numpy_kernels()
+        scores = np.array([[0.0, 0.0], [1.0, 1.0]])
+        mask = bundle.to_numpy(bundle.dominance_columns(scores, scores))
+        np.testing.assert_array_equal(mask, [[False, True], [False, False]])
+
+
+class TestCompile:
+    def test_maybe_jit_is_identity_on_numpy(self):
+        fn = lambda x: x + 1  # noqa: E731
+        assert maybe_jit(fn, "numpy") is fn
+
+    def test_maybe_vmap_numpy_fallback_stacks(self):
+        def per_member(row, shift):
+            return row * 2.0 + shift
+
+        mapped = maybe_vmap(per_member, "numpy", in_axes=(0, None))
+        rows = np.arange(6.0).reshape(3, 2)
+        np.testing.assert_array_equal(
+            mapped(rows, 1.0), rows * 2.0 + 1.0
+        )
+
+    def test_maybe_vmap_fallback_handles_tuple_returns(self):
+        def pair(row):
+            return row.min(), row.max()
+
+        lo, hi = maybe_vmap(pair, "numpy")(np.arange(6.0).reshape(3, 2))
+        np.testing.assert_array_equal(lo, [0.0, 2.0, 4.0])
+        np.testing.assert_array_equal(hi, [1.0, 3.0, 5.0])
+
+    def test_maybe_vmap_fallback_rejects_ragged_axes(self):
+        mapped = maybe_vmap(lambda a, b: a + b, "numpy")
+        with pytest.raises(ValueError, match="inconsistent"):
+            mapped(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_block_until_ready_passes_values_through(self):
+        arr = np.arange(3.0)
+        assert block_until_ready(arr) is arr
+        out = block_until_ready((arr, [arr]))
+        assert out[0] is arr
+
+
+@pytest.mark.skipif(not has_jax(), reason="jax wheel not installed")
+class TestJaxNamespace:
+    def test_jax_flags_and_round_trip(self):
+        ns = get_namespace("jax")
+        assert ns.can_jit and ns.can_vmap and not ns.mutable
+        arr = ns.asarray(np.arange(4.0))
+        out = ns.update_at(arr, 1, 9.0)
+        assert out is not arr  # functional update
+        np.testing.assert_array_equal(ns.to_numpy(out), [0.0, 9.0, 2.0, 3.0])
+
+    def test_x64_is_enabled(self):
+        ns = get_namespace("jax")
+        assert ns.asarray(np.float64(1.0)).dtype == np.float64
