@@ -1,0 +1,127 @@
+"""On-disk analysis cache: warm whole-program runs in well under a second.
+
+Whole-program linting re-reads every file every run — but almost nothing
+changes between runs, and everything the project rules need from an
+unchanged file is its :class:`~repro.lint.graph.ModuleAnalysis` summary,
+its per-file rule findings and its suppression comments, all plain JSON.
+So each file's full per-file result is cached as one document under
+``.repro-lint-cache/``, keyed by::
+
+    sha256(analysis-version | policy-digest | relpath | source bytes)
+
+The key embeds everything that can change the document: edit the file,
+touch the lint policy (rule scopes, layer map, protocol tables) or bump
+:data:`~repro.lint.graph.ANALYSIS_VERSION` and the old entry simply
+stops being addressed.  There is no mtime heuristic and no invalidation
+protocol — stale entries are unreachable by construction and swept by
+age.  The *project* rules (REP008–REP010) and suppression application
+always run fresh over the assembled summaries; they are a few
+milliseconds for this tree, so a warm run parses nothing and still
+produces byte-identical findings.
+
+Entries are written atomically (pid-suffixed temp name, then
+``os.replace``) so concurrent lint runs — two CI jobs, an editor plugin
+racing the CLI — can share a cache directory without torn documents.
+A corrupt or unreadable entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.lint.graph import ANALYSIS_VERSION
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the working directory (gitignored).
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: Entries untouched for this many seconds are swept opportunistically.
+_MAX_AGE_SECONDS = 7 * 24 * 3600
+
+
+class AnalysisCache:
+    """Content-addressed per-file analysis documents under one directory."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(relpath: str, source: bytes, policy_digest: str) -> str:
+        """Content hash addressing one file's analysis document."""
+        hasher = hashlib.sha256()
+        hasher.update(str(ANALYSIS_VERSION).encode("utf8"))
+        hasher.update(b"\x00")
+        hasher.update(policy_digest.encode("utf8"))
+        hasher.update(b"\x00")
+        hasher.update(relpath.encode("utf8"))
+        hasher.update(b"\x00")
+        hasher.update(source)
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached document for ``key``, or ``None`` on any miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != ANALYSIS_VERSION:
+            self.misses += 1
+            return None
+        try:
+            # Freshen the entry so the age sweep spares live documents.
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key`` (best effort)."""
+        document = dict(payload)
+        document["version"] = ANALYSIS_VERSION
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only checkout or full disk degrades to cold runs.
+            try:
+                if tmp.exists():
+                    tmp.unlink()
+            except OSError:
+                pass
+
+    def sweep(self, now: float) -> int:
+        """Remove entries untouched for :data:`_MAX_AGE_SECONDS`.
+
+        ``now`` is the caller's clock reading (the cache itself never
+        reads the clock, keeping this module trivially replay-safe).
+        Returns the number of entries removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in sorted(self.root.glob("*.json")):
+            try:
+                if now - entry.stat().st_mtime > _MAX_AGE_SECONDS:
+                    entry.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed

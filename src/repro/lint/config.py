@@ -29,6 +29,10 @@ __all__ = [
     "LintConfig",
     "DEFAULT_RULE_CONFIG",
     "CHECKPOINT_SCHEMA",
+    "LAYER_BANDS",
+    "DURABLE_MARKERS",
+    "DURABLE_SUMMARIES",
+    "PROTOCOL_TRANSIENT",
     "load_config",
     "package_relpath",
 ]
@@ -61,6 +65,78 @@ CHECKPOINT_SCHEMA: Dict[str, Any] = {
         "temperature",
     ),
 }
+
+
+#: The architecture layer order rule REP008 enforces (lower band = lower
+#: layer).  A module-level import may only point to the *same or a lower*
+#: band; function-local (lazy) imports are the sanctioned cycle-breakers
+#: and are exempt.  Keys are the top-level layering units returned by
+#: :func:`repro.lint.graph.package_of` (the first sub-package under
+#: ``repro``, or ``repro`` itself for the root ``__init__``).  The
+#: ``lint`` unit is absent on purpose: it is special-cased to import only
+#: the standard library and itself, so it can never join a cycle with
+#: the code it analyses.
+LAYER_BANDS: Dict[str, int] = {
+    # band 0: leaf utilities with no intra-project imports
+    "constants": 0,
+    "utils": 0,
+    "io": 0,
+    "config": 0,
+    # band 1: the array-API facade (pure dispatch over namespaces)
+    "xp": 1,
+    # band 2: domain data + math
+    "protein": 2,
+    "geometry": 2,
+    "simt": 2,
+    # band 3: target/loop definitions
+    "loops": 3,
+    # band 4: the kernel subsystems
+    "scoring": 4,
+    "closure": 4,
+    "moscem": 4,
+    # band 5: result post-processing
+    "analysis": 5,
+    # band 6: backend assembly
+    "backends": 6,
+    # band 7: island migration (rides the store)
+    "islands": 7,
+    # band 8: the sharded runtime
+    "runtime": 8,
+    # band 9: public surfaces
+    "api": 9,
+    "serve": 9,
+    # band 10: entry points and the package root
+    "experiments": 10,
+    "cli": 10,
+    "repro": 10,
+}
+
+#: Durable-protocol filename classes (rule REP010).  *Markers* are the
+#: commit points of a multi-file write — readers treat their presence as
+#: "every sibling payload is complete", so they must be written last and
+#: always through a JSON helper (``write_json_atomic`` for republishable
+#: markers, ``create_json_exclusive`` for claim markers).
+DURABLE_MARKERS: Tuple[str, ...] = (
+    "entry.json",
+    "manifest.json",
+    "checkpoint.json",
+)
+
+#: Summary payloads: JSON documents describing sibling blobs, written
+#: after the blobs but before (or as) nothing — only markers may follow.
+DURABLE_SUMMARIES: Tuple[str, ...] = (
+    "result.json",
+    "summary.json",
+)
+
+#: Transient channel files (status, leases, cancellation flags): they
+#: carry no durability promise, are rewritten freely, and are exempt
+#: from the ordering state machine.
+PROTOCOL_TRANSIENT: Tuple[str, ...] = (
+    "status.json",
+    "lease.json",
+    "cancelled.json",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,6 +203,24 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
             "repro/xp/",
         ),
     ),
+    # Module-level imports must respect the declared layer order
+    # (LAYER_BANDS); function-local imports are the sanctioned
+    # cycle-breakers and are exempt.  Whole-tree rule.
+    "REP008": RuleConfig(),
+    # The transitive call closure of every @array_kernel body and every
+    # maybe_jit/maybe_vmap-wrapped function must be effect-free.
+    # Whole-tree rule: kernels are defined under scoring/geometry/... but
+    # jit roots appear wherever the facade is used.
+    "REP009": RuleConfig(),
+    # Durable multi-file writes must sequence blobs -> summaries ->
+    # markers within each function (transitively through intra-module
+    # helpers); patrols the store-backed subsystems.
+    "REP010": RuleConfig(
+        scope=("repro/serve/", "repro/runtime/", "repro/islands/"),
+    ),
+    # Suppression hygiene: a disable comment whose codes no longer
+    # suppress anything is itself a finding.  Whole-tree rule.
+    "REP011": RuleConfig(),
 }
 
 #: Modules that must contain no wall-clock reading at all (REP004): their
@@ -149,10 +243,44 @@ class LintConfig:
     checkpoint_schema: Mapping[str, Any] = dataclasses.field(
         default_factory=lambda: dict(CHECKPOINT_SCHEMA)
     )
+    layer_bands: Mapping[str, int] = dataclasses.field(
+        default_factory=lambda: dict(LAYER_BANDS)
+    )
+    durable_markers: Tuple[str, ...] = DURABLE_MARKERS
+    durable_summaries: Tuple[str, ...] = DURABLE_SUMMARIES
+    protocol_transient: Tuple[str, ...] = PROTOCOL_TRANSIENT
 
     def rule(self, code: str) -> RuleConfig:
         """The policy of rule ``code`` (default-enabled if unlisted)."""
         return self.rules.get(code, RuleConfig())
+
+    def policy_digest(self) -> str:
+        """Stable hash of everything that influences findings.
+
+        Part of the analysis-cache key (:mod:`repro.lint.cache`): any
+        policy change — a rescoped rule, a new allowlist entry, an edited
+        layer map — invalidates every cached per-file result at once.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "rules": {
+                code: dataclasses.astuple(rule)
+                for code, rule in sorted(self.rules.items())
+            },
+            "wallclock_free": self.wallclock_free,
+            "checkpoint_schema": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in self.checkpoint_schema.items()
+            },
+            "layer_bands": dict(self.layer_bands),
+            "durable_markers": self.durable_markers,
+            "durable_summaries": self.durable_summaries,
+            "protocol_transient": self.protocol_transient,
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf8")
+        return hashlib.sha256(encoded).hexdigest()
 
 
 def package_relpath(path: Union[str, Path]) -> str:

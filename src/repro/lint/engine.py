@@ -1,9 +1,27 @@
-"""The rule engine: AST walking, suppression handling, finding reports.
+"""The rule engine: AST walking, the project pipeline, finding reports.
 
-One parse per file: the engine builds the AST, annotates every node with
-its parent (so rules can reason about context — "is this call an argument
-of ``append_journal``?"), extracts the suppression table from the raw
-source comments, and hands the tree to each applicable rule's visitor.
+One parse per file, even for the whole-program rules: the engine builds
+each module's AST, annotates every node with its parent (so per-file
+rules can reason about context — "is this call an argument of
+``append_journal``?"), runs the per-file rules, and distils the same
+tree into a :class:`~repro.lint.graph.ModuleAnalysis` for the project
+rules.  A lint run is then a five-stage pipeline:
+
+1. **analyze** every file — per-file findings + module analysis +
+   suppression comments (cacheable per file, see
+   :mod:`repro.lint.cache`);
+2. **assemble** the :class:`~repro.lint.graph.ProjectGraph` from the
+   module analyses;
+3. run the **project rules** (REP008 layering, REP009 kernel purity,
+   REP010 write protocol) over the graph, scoping each finding by path;
+4. apply **suppressions**, recording which comment absorbed which
+   finding;
+5. emit **REP011** for every disable comment (or code within one) that
+   absorbed nothing.
+
+``lint_source`` runs the same pipeline over a single-module project, so
+single-file behaviour is the whole-program behaviour restricted to what
+one file can show.
 
 Suppressions
 ------------
@@ -17,21 +35,45 @@ alone on a line suppresses the line below it, so long justifications fit::
 ``# repro-lint: disable-file=REP005`` anywhere in a file suppresses the
 rule for the whole file.  Suppressed findings are retained (flagged
 ``suppressed=True``) so ``repro-lint --show-suppressed`` can audit them.
+Comments are read from real COMMENT tokens (via :mod:`tokenize`), so the
+directive *text* appearing in a docstring — as it does in this one —
+suppresses nothing and is invisible to REP011.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import io as _io
 import re
+import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.lint.config import LintConfig, load_config, package_relpath
+from repro.lint.graph import ModuleAnalysis, ProjectGraph, analyze_module
+
+if TYPE_CHECKING:
+    from repro.lint.cache import AnalysisCache
 
 __all__ = [
     "Finding",
     "LintError",
+    "LintResult",
+    "LintStats",
+    "lint_project",
     "lint_source",
     "lint_paths",
     "run_lint",
@@ -60,37 +102,103 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{mark}"
 
 
+@dataclasses.dataclass
+class LintStats:
+    """How a lint run was served (cache accounting for the CLI/CI gate)."""
+
+    files: int = 0  #: files linted
+    analyzed: int = 0  #: files parsed and analysed this run (cache misses)
+    cached: int = 0  #: files served from the analysis cache
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Findings plus run accounting."""
+
+    findings: List[Finding]
+    stats: LintStats
+
+
+class _Suppression:
+    """One ``# repro-lint: disable`` comment and its usage bookkeeping."""
+
+    __slots__ = ("line", "col", "kind", "codes", "own_line", "used")
+
+    def __init__(
+        self,
+        line: int,
+        col: int,
+        kind: str,
+        codes: Tuple[str, ...],
+        own_line: bool,
+    ) -> None:
+        self.line = line
+        self.col = col
+        self.kind = kind  # "disable" | "disable-file"
+        self.codes = codes  # upper-cased, source order, deduplicated
+        self.own_line = own_line
+        self.used: Set[str] = set()
+
+    def to_row(self) -> List[Any]:
+        return [self.line, self.col, self.kind, list(self.codes), self.own_line]
+
+    @classmethod
+    def from_row(cls, row: Sequence[Any]) -> "_Suppression":
+        return cls(
+            int(row[0]), int(row[1]), str(row[2]), tuple(row[3]), bool(row[4])
+        )
+
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
 )
 
 
-def _suppressions(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
-    """Per-line and file-wide suppression tables from the raw source.
+def _parse_directive(
+    text: str, line: int, col: int, own_line: bool
+) -> Optional[_Suppression]:
+    match = _SUPPRESS_RE.search(text)
+    if not match:
+        return None
+    codes: List[str] = []
+    for raw in match.group(2).split(","):
+        code = raw.strip().split()[0].upper() if raw.strip() else ""
+        if code and code not in codes:
+            codes.append(code)
+    if not codes:
+        return None
+    return _Suppression(line, col, match.group(1), tuple(codes), own_line)
 
-    A ``disable=`` comment applies to its own line; when the line holds
-    nothing but the comment, it also applies to the next line.  Codes are
-    upper-cased; the special code ``ALL`` matches every rule.
+
+def _extract_suppressions(source: str) -> List[_Suppression]:
+    """Every suppression directive, from real COMMENT tokens.
+
+    Falls back to a line-regex scan when the file fails to tokenize
+    (the AST parse will have raised first in practice).
     """
-    by_line: Dict[int, Set[str]] = {}
-    file_wide: Set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if not match:
+    suppressions: List[_Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(_io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            own_line = text[: match.start()].strip() == ""
+            parsed = _parse_directive(text, lineno, match.start(), own_line)
+            if parsed is not None:
+                suppressions.append(parsed)
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
             continue
-        kind = match.group(1)
-        codes = {
-            code.strip().upper()
-            for code in match.group(2).split(",")
-            if code.strip()
-        }
-        if kind == "disable-file":
-            file_wide |= codes
-            continue
-        by_line.setdefault(lineno, set()).update(codes)
-        if text[: match.start()].strip() == "":
-            by_line.setdefault(lineno + 1, set()).update(codes)
-    return by_line, file_wide
+        own_line = token.line[: token.start[1]].strip() == ""
+        parsed = _parse_directive(
+            token.string, token.start[0], token.start[1], own_line
+        )
+        if parsed is not None:
+            suppressions.append(parsed)
+    return suppressions
 
 
 def _annotate_parents(tree: ast.AST) -> None:
@@ -128,6 +236,203 @@ def call_name(node: ast.Call) -> str:
     return ""
 
 
+# ---------------------------------------------------------------------------
+# Stage 1: per-file analysis (the cacheable unit)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _FileRecord:
+    """One file's per-file results, either computed or cache-served."""
+
+    display_path: str  #: the path findings report (as the caller gave it)
+    relpath: str
+    raw: List[Tuple[str, int, int, str]]  #: (rule, line, col, message)
+    analysis: ModuleAnalysis
+    suppressions: List[_Suppression]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "raw": [list(row) for row in self.raw],
+            "analysis": self.analysis.to_dict(),
+            "suppressions": [s.to_row() for s in self.suppressions],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], display_path: str, relpath: str
+    ) -> "_FileRecord":
+        return cls(
+            display_path=display_path,
+            relpath=relpath,
+            raw=[
+                (str(r[0]), int(r[1]), int(r[2]), str(r[3]))
+                for r in payload["raw"]
+            ],
+            analysis=ModuleAnalysis.from_dict(payload["analysis"]),
+            suppressions=[
+                _Suppression.from_row(row) for row in payload["suppressions"]
+            ],
+        )
+
+
+def _analyze_file(
+    source: str,
+    filename: Union[str, Path],
+    relpath: str,
+    config: LintConfig,
+) -> _FileRecord:
+    """Parse once; run per-file rules and distil the module analysis."""
+    from repro.lint.rules import get_rules
+
+    try:
+        tree = ast.parse(source, filename=str(filename))
+    except SyntaxError as exc:
+        raise LintError(f"{filename}: syntax error: {exc}") from exc
+    _annotate_parents(tree)
+
+    raw: List[Tuple[str, int, int, str]] = []
+    for rule in get_rules():
+        if not config.rule(rule.code).applies_to(relpath):
+            continue
+        for line, col, message in rule.check(tree, relpath, config):
+            raw.append((rule.code, line, col, message))
+
+    return _FileRecord(
+        display_path=str(filename),
+        relpath=relpath,
+        raw=raw,
+        analysis=analyze_module(tree, relpath),
+        suppressions=_extract_suppressions(source),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stages 2–5: assembly, project rules, suppressions, REP011
+# ---------------------------------------------------------------------------
+
+
+def _project_findings(
+    records: Sequence[_FileRecord], config: LintConfig
+) -> List[Tuple[_FileRecord, str, int, int, str]]:
+    """Whole-program rule findings attached to their owning records."""
+    from repro.lint.rules import get_project_rules
+
+    graph = ProjectGraph([record.analysis for record in records])
+    by_relpath: Dict[str, _FileRecord] = {r.relpath: r for r in records}
+    found: List[Tuple[_FileRecord, str, int, int, str]] = []
+    for rule in get_project_rules():
+        rule_config = config.rule(rule.code)
+        if not rule_config.enabled:
+            continue
+        for relpath, line, col, message in rule.check_project(graph, config):
+            record = by_relpath.get(relpath)
+            if record is None or not rule_config.applies_to(relpath):
+                continue
+            found.append((record, rule.code, line, col, message))
+    return found
+
+
+def _apply_suppressions(
+    record: _FileRecord,
+    raw: Iterable[Tuple[str, int, int, str]],
+) -> List[Finding]:
+    """Findings for one file with suppressions applied and usage recorded."""
+    by_line: Dict[int, List[_Suppression]] = {}
+    file_wide: List[_Suppression] = []
+    for suppression in record.suppressions:
+        if suppression.kind == "disable-file":
+            file_wide.append(suppression)
+            continue
+        by_line.setdefault(suppression.line, []).append(suppression)
+        if suppression.own_line:
+            by_line.setdefault(suppression.line + 1, []).append(suppression)
+
+    findings: List[Finding] = []
+    for code, line, col, message in raw:
+        suppressed = False
+        for suppression in by_line.get(line, []) + file_wide:
+            if code == "REP011":
+                # Hygiene findings are only silenced by an explicit
+                # REP011 — a stale `disable=all` must not absorb the
+                # report of its own staleness.
+                matched = [c for c in suppression.codes if c == "REP011"]
+            else:
+                matched = [c for c in suppression.codes if c in ("ALL", code)]
+            if matched:
+                suppressed = True
+                suppression.used.update(matched)
+        findings.append(
+            Finding(
+                rule=code,
+                path=record.display_path,
+                line=line,
+                col=col,
+                message=message,
+                suppressed=suppressed,
+            )
+        )
+    return findings
+
+
+def _stale_suppression_rows(
+    record: _FileRecord,
+) -> List[Tuple[str, int, int, str]]:
+    """REP011 raw findings: (code-within-comment) pairs that absorbed nothing."""
+    rows: List[Tuple[str, int, int, str]] = []
+    for suppression in record.suppressions:
+        for code in suppression.codes:
+            if code == "REP011":
+                # The escape hatch must not recurse: suppressing REP011
+                # is a standing decision, not a per-finding exception.
+                continue
+            if code in suppression.used:
+                continue
+            where = (
+                "in this file"
+                if suppression.kind == "disable-file"
+                else "on this line"
+            )
+            rows.append(
+                (
+                    "REP011",
+                    suppression.line,
+                    suppression.col,
+                    f"suppression `{suppression.kind}={code}` matches no "
+                    f"finding {where}; delete the code (or the whole "
+                    "comment) so the allowlist only ever shrinks",
+                )
+            )
+    return rows
+
+
+def _assemble(
+    records: Sequence[_FileRecord], config: LintConfig
+) -> List[Finding]:
+    """Stages 2–5 over analysed files; returns the final sorted findings."""
+    per_record: Dict[int, List[Tuple[str, int, int, str]]] = {
+        id(record): list(record.raw) for record in records
+    }
+    for record, code, line, col, message in _project_findings(records, config):
+        per_record[id(record)].append((code, line, col, message))
+
+    findings: List[Finding] = []
+    for record in records:
+        rows = sorted(per_record[id(record)], key=lambda r: (r[1], r[2], r[0]))
+        file_findings = _apply_suppressions(record, rows)
+        if config.rule("REP011").applies_to(record.relpath):
+            stale = _stale_suppression_rows(record)
+            file_findings.extend(_apply_suppressions(record, stale))
+        findings.extend(file_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
 def lint_source(
     source: str,
     filename: Union[str, Path],
@@ -136,44 +441,14 @@ def lint_source(
     """Lint one module's source text; returns findings (suppressed included).
 
     ``filename`` locates the module for path-scoped rules — synthetic
-    names like ``repro/runtime/foo.py`` are fine for fixtures.
+    names like ``repro/runtime/foo.py`` are fine for fixtures.  The
+    whole-program rules run over the single-module project graph, so
+    anything one file can violate on its own (a layering import, an
+    impure kernel helper in the same module) is reported here too.
     """
-    from repro.lint.rules import get_rules
-
     config = config or LintConfig()
-    relpath = package_relpath(filename)
-    try:
-        tree = ast.parse(source, filename=str(filename))
-    except SyntaxError as exc:
-        raise LintError(f"{filename}: syntax error: {exc}") from exc
-    _annotate_parents(tree)
-    by_line, file_wide = _suppressions(source)
-
-    findings: List[Finding] = []
-    for rule in get_rules():
-        rule_config = config.rule(rule.code)
-        if not rule_config.applies_to(relpath):
-            continue
-        for line, col, message in rule.check(tree, relpath, config):
-            at_line = by_line.get(line, set())
-            suppressed = (
-                rule.code in file_wide
-                or "ALL" in file_wide
-                or rule.code in at_line
-                or "ALL" in at_line
-            )
-            findings.append(
-                Finding(
-                    rule=rule.code,
-                    path=str(filename),
-                    line=line,
-                    col=col,
-                    message=message,
-                    suppressed=suppressed,
-                )
-            )
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    record = _analyze_file(source, filename, package_relpath(filename), config)
+    return _assemble([record], config)
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
@@ -195,20 +470,61 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
                 yield candidate
 
 
+def lint_project(
+    paths: Sequence[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+    cache: Optional["AnalysisCache"] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` as one program.
+
+    ``cache`` is an :class:`repro.lint.cache.AnalysisCache` (or anything
+    with its ``key``/``load``/``store`` shape); when given, unchanged
+    files are served from their cached per-file documents and only
+    edited files are re-parsed.  The project rules and suppression
+    bookkeeping always run fresh — they need the whole program.
+    """
+    config = config or LintConfig()
+    policy = config.policy_digest() if cache is not None else ""
+    stats = LintStats()
+    records: List[_FileRecord] = []
+    for path in iter_python_files(paths):
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            source = data.decode("utf8")
+        except UnicodeDecodeError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        relpath = package_relpath(path)
+        stats.files += 1
+        record: Optional[_FileRecord] = None
+        key = ""
+        if cache is not None:
+            key = cache.key(relpath, data, policy)
+            payload = cache.load(key)
+            if payload is not None:
+                try:
+                    record = _FileRecord.from_payload(payload, str(path), relpath)
+                except (KeyError, IndexError, TypeError, ValueError):
+                    record = None
+        if record is None:
+            record = _analyze_file(source, path, relpath, config)
+            stats.analyzed += 1
+            if cache is not None:
+                cache.store(key, record.to_payload())
+        else:
+            stats.cached += 1
+        records.append(record)
+    return LintResult(findings=_assemble(records, config), stats=stats)
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths``."""
-    config = config or LintConfig()
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text(encoding="utf8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise LintError(f"cannot read {path}: {exc}") from exc
-        findings.extend(lint_source(source, path, config))
-    return findings
+    """Lint every Python file under ``paths`` (findings only, no cache)."""
+    return lint_project(paths, config).findings
 
 
 def run_lint(

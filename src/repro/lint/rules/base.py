@@ -1,9 +1,21 @@
-"""Rule protocol shared by every rule family.
+"""Rule protocols shared by every rule family.
 
-A rule is a stateless object with a ``REPxxx`` code and a ``check``
-method yielding ``(line, col, message)`` triples over a parent-annotated
-AST.  Path scoping and suppression handling live in the engine; rules
-only decide whether a node violates their invariant.
+Two shapes of rule:
+
+* :class:`Rule` — per-file.  A stateless object with a ``REPxxx`` code
+  and a ``check`` method yielding ``(line, col, message)`` triples over
+  one parent-annotated AST.
+* :class:`ProjectRule` — whole-program.  Its ``check_project`` runs once
+  per lint invocation over the assembled
+  :class:`~repro.lint.graph.ProjectGraph` and yields violations tagged
+  with the package-relative path they belong to.
+
+Path scoping and suppression handling live in the engine in both cases;
+rules only decide whether something violates their invariant.  (Project
+rules see the whole graph — every module contributes facts — but each
+*finding* is still filtered by the rule's path scope, so e.g. REP010
+reports only inside ``serve/``/``runtime/`` even though its transitive
+write-rank propagation may pass through helpers elsewhere.)
 """
 
 from __future__ import annotations
@@ -13,15 +25,19 @@ from typing import TYPE_CHECKING, Iterator, Tuple
 
 if TYPE_CHECKING:
     from repro.lint.config import LintConfig
+    from repro.lint.graph import ProjectGraph
 
-__all__ = ["Rule", "Violation"]
+__all__ = ["ProjectRule", "ProjectViolation", "Rule", "Violation"]
 
 #: One raw violation: (line, col, message).
 Violation = Tuple[int, int, str]
 
+#: One raw whole-program violation: (relpath, line, col, message).
+ProjectViolation = Tuple[str, int, int, str]
+
 
 class Rule:
-    """Base class of every lint rule."""
+    """Base class of every per-file lint rule."""
 
     #: Stable machine code, e.g. ``"REP001"``.
     code: str = ""
@@ -34,4 +50,18 @@ class Rule:
         self, tree: ast.AST, relpath: str, config: "LintConfig"
     ) -> Iterator[Violation]:
         """Yield every violation in ``tree`` (already parent-annotated)."""
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """Base class of every whole-program lint rule."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_project(
+        self, graph: "ProjectGraph", config: "LintConfig"
+    ) -> Iterator[ProjectViolation]:
+        """Yield every violation visible in the assembled project graph."""
         raise NotImplementedError

@@ -1,0 +1,103 @@
+"""REP008: module-level imports must respect the declared layer order.
+
+The architecture is a strict band stack
+(:data:`repro.lint.config.LAYER_BANDS`): utilities at the bottom, the
+``xp`` facade above them, domain math, kernels, the runtime, and the
+public ``api``/``serve`` surfaces on top.  A module-level import may
+point sideways (same band) or down — never up.  Function-local (lazy)
+imports are exempt by design: they are the repo's sanctioned
+cycle-breakers (the registry lookups in ``serve/cache.py`` and
+``runtime/spec.py``, the scoring re-exports), executed after every
+module is initialised, so they can neither deadlock module init nor
+create a load-order dependency.
+
+Two extra clauses:
+
+* When an upward edge also closes a *cycle* in the module-level import
+  graph, the shortest cycle through the edge is reported alongside it —
+  a cycle means there is no load order at all, which is strictly worse
+  than a layering leak.
+* ``lint`` is held to a harder contract than a band: it may import only
+  the standard library and ``repro.lint`` itself.  The analyzer sits
+  below everything it analyses; if it imported ``repro.io`` or
+  ``repro.xp`` its own findings about them would be self-referential.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.graph import ProjectGraph, package_of
+from repro.lint.rules.base import ProjectRule, ProjectViolation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["LayeringRule"]
+
+
+class LayeringRule(ProjectRule):
+    code = "REP008"
+    name = "layering"
+    summary = (
+        "module-level imports must point to the same or a lower "
+        "architecture band; lint imports only stdlib + itself"
+    )
+
+    def check_project(
+        self, graph: ProjectGraph, config: "LintConfig"
+    ) -> Iterator[ProjectViolation]:
+        bands = config.layer_bands
+        for module in sorted(graph.modules):
+            analysis = graph.modules[module]
+            source_unit = package_of(module)
+            for site in analysis.imports:
+                # Resolution through the graph gives the precise module
+                # (and enables cycle reporting); an unresolved target —
+                # the import points outside the linted file set — still
+                # carries its layering unit in its dotted name.
+                resolved = graph.resolve_module(site.target)
+                target_module = resolved if resolved is not None else site.target
+                if target_module == module:
+                    continue
+                target_unit = package_of(target_module)
+
+                if source_unit == "lint":
+                    # Only intra-project imports reach this rule, so
+                    # anything outside the lint package is a violation
+                    # regardless of its position (lazy included).
+                    if target_unit != "lint":
+                        yield (
+                            analysis.relpath,
+                            site.line,
+                            site.col,
+                            f"`{module}` (lint) imports `{target_module}`: "
+                            "the lint package may import only the standard "
+                            "library and repro.lint itself",
+                        )
+                    continue
+
+                if not site.toplevel or target_unit == source_unit:
+                    continue
+                source_band = bands.get(source_unit)
+                target_band = bands.get(target_unit)
+                if source_band is None or target_band is None:
+                    # A unit outside the declared map (new subsystem, test
+                    # fixture): unknown, not wrong.  The map must be
+                    # extended consciously, mirroring REP006's schema pin.
+                    continue
+                if target_band <= source_band:
+                    continue
+                message = (
+                    f"`{module}` (band {source_band}, {source_unit}) imports "
+                    f"`{target_module}` (band {target_band}, {target_unit}) "
+                    "at module level: imports must point down the layer "
+                    "stack; use a function-local import if this is a "
+                    "sanctioned late binding"
+                )
+                if resolved is not None:
+                    cycle = graph.shortest_cycle(module, resolved)
+                    if cycle is not None:
+                        chain = " -> ".join(cycle)
+                        message += f"; this edge closes an import cycle: {chain}"
+                yield (analysis.relpath, site.line, site.col, message)

@@ -1,0 +1,225 @@
+"""REP010: durable multi-file writes must sequence blobs -> summaries -> markers.
+
+Every multi-file artefact in the store (cache entries, run directories,
+checkpoints) follows one recovery protocol, documented in CONTRIBUTING
+since PR 7: write the bulk payloads first, then the JSON summaries that
+describe them, and only then the *marker* whose presence tells a reader
+"everything here is complete".  A crash between any two steps leaves a
+directory readers ignore; reverse any two steps and a crash manufactures
+a corrupt-but-trusted artefact.
+
+The rule casts that protocol as a rank order over the
+:mod:`repro.io` helper calls in each function:
+
+====  ======================================  =========================
+rank  filename class                          helpers
+====  ======================================  =========================
+0     bulk blobs (anything not below)         ``write_bytes_atomic``,
+                                              ``write_npz_atomic``,
+                                              ``atomic_write``
+1     summaries (``result.json``, ...)        ``write_json_atomic``
+      and unresolved JSON targets
+2     markers (``entry.json``,                ``write_json_atomic``,
+      ``manifest.json``, ``checkpoint.json``) ``create_json_exclusive``
+      and every exclusive claim
+====  ======================================  =========================
+
+Within one function the rank sequence (in statement order) must be
+non-decreasing.  Calls to other project functions carry the callee's
+transitive rank, computed to fixpoint over the call graph — so
+``save_shard_result`` calling a decoy-writing helper before its
+``result.json`` is checked exactly as if the npz write were inlined.
+A callee that itself spans multiple ranks (``save_checkpoint`` writing
+npz **and** json) is a complete, separately-checked transaction over
+its own artefact and imposes no constraint at the call site; calls into
+:mod:`repro.io` are the protocol primitives themselves and are modelled
+by their direct write sites only.
+Transient channel files (``status.json``, leases, cancellation flags)
+are exempt: they promise nothing durable.  Markers additionally must be
+written through a JSON helper — a marker produced by a bytes write
+bypasses the sorted-keys canonical form every replay comparison relies
+on.
+
+Filenames are resolved conservatively (string literals, ``X / "name"``
+path tails, class/module string constants, single-assignment locals);
+an unresolvable JSON target ranks 1, which still catches the dangerous
+reversal (marker or summary before blob) without guessing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.graph import FunctionInfo, ProjectGraph, WriteSite
+from repro.lint.rules.base import ProjectRule, ProjectViolation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["WriteProtocolRule"]
+
+_RANK_LABEL = {0: "blob", 1: "summary", 2: "marker"}
+
+
+class WriteProtocolRule(ProjectRule):
+    code = "REP010"
+    name = "write-protocol"
+    summary = (
+        "durable writes must sequence blobs -> summaries -> markers "
+        "(marker-last, transitively through helpers)"
+    )
+
+    def check_project(
+        self, graph: ProjectGraph, config: "LintConfig"
+    ) -> Iterator[ProjectViolation]:
+        intervals = self._rank_intervals(graph, config)
+        for name in sorted(graph.functions):
+            analysis, info = graph.functions[name]
+            yield from self._check_function(
+                name, analysis.relpath, info, graph, config, intervals
+            )
+
+    # -- per-function state machine --------------------------------------
+
+    def _check_function(
+        self,
+        name: str,
+        relpath: str,
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        config: "LintConfig",
+        intervals: Dict[str, Tuple[int, int]],
+    ) -> Iterator[ProjectViolation]:
+        short = name.rsplit(".", 1)[-1]
+        # Events in statement order: direct writes and calls that
+        # transitively write, each carrying a rank interval.
+        events: List[Tuple[int, int, int, int, str]] = []
+        for site in info.writes:
+            ranked = self._rank(site, config)
+            if ranked is None:
+                continue
+            rank, label, bad = ranked
+            if bad:
+                yield (
+                    relpath,
+                    site.line,
+                    site.col,
+                    f"`{short}` writes marker `{site.filename}` via "
+                    f"`{site.helper}`: markers must go through a JSON "
+                    "helper (write_json_atomic / create_json_exclusive) "
+                    "so their canonical sorted-keys form is preserved",
+                )
+                continue
+            events.append((site.line, site.col, rank, rank, label))
+        for call in info.calls:
+            target = graph.resolve_function(call.target)
+            if target is None or target == name:
+                continue
+            if target.startswith("repro.io."):
+                # The helpers themselves: already modelled as direct
+                # write sites; their internals are implementation.
+                continue
+            interval = intervals.get(target)
+            if interval is None:
+                continue
+            lo, hi = interval
+            if lo != hi:
+                # The callee runs a complete multi-rank protocol of its
+                # own (e.g. save_checkpoint): a self-contained, itself-
+                # checked transaction over its own artefact, imposing no
+                # ordering constraint at this call site.
+                continue
+            label = f"call to `{target.rsplit('.', 1)[-1]}` (writes {_RANK_LABEL[lo]})"
+            events.append((call.line, 0, lo, hi, label))
+
+        events.sort(key=lambda e: (e[0], e[1]))
+        high = -1
+        high_label = ""
+        high_line = 0
+        for line, col, lo, hi, label in events:
+            if lo < high:
+                yield (
+                    relpath,
+                    line,
+                    col,
+                    f"`{short}` writes {_RANK_LABEL[lo]}-rank {label} after "
+                    f"{_RANK_LABEL[high]}-rank {high_label} (line {high_line}): "
+                    "durable writes must sequence blobs -> summaries -> "
+                    "markers so a crash can never leave a trusted marker "
+                    "next to missing payloads",
+                )
+            if hi > high:
+                high = hi
+                high_label = label
+                high_line = line
+
+    # -- rank assignment --------------------------------------------------
+
+    @staticmethod
+    def _rank(
+        site: WriteSite, config: "LintConfig"
+    ) -> Optional[Tuple[int, str, bool]]:
+        """(rank, event label, marker-via-blob-helper?) or None if exempt."""
+        filename = site.filename
+        if filename and filename in config.protocol_transient:
+            return None
+        is_marker = bool(filename) and filename in config.durable_markers
+        label = f"`{filename}`" if filename else f"`{site.helper}(...)`"
+        if site.helper == "create_json_exclusive":
+            return (2, label, False)
+        if site.helper == "write_json_atomic":
+            if is_marker:
+                return (2, label, False)
+            return (1, label, False)
+        # bytes / npz / generic atomic writers
+        if is_marker:
+            return (2, label, True)
+        return (0, label, False)
+
+    # -- transitive rank intervals ----------------------------------------
+
+    def _rank_intervals(
+        self, graph: ProjectGraph, config: "LintConfig"
+    ) -> Dict[str, Tuple[int, int]]:
+        """Fixpoint: function -> (min, max) rank it transitively writes."""
+        intervals: Dict[str, Tuple[int, int]] = {}
+        for name in graph.functions:
+            _, info = graph.functions[name]
+            ranks = [
+                ranked[0]
+                for ranked in (self._rank(s, config) for s in info.writes)
+                if ranked is not None and not ranked[2]
+            ]
+            if ranks:
+                intervals[name] = (min(ranks), max(ranks))
+        # Propagate through call edges until stable (the call graph is
+        # shallow; the bound only guards against pathological recursion).
+        for _ in range(len(graph.functions) + 1):
+            changed = False
+            for name in sorted(graph.functions):
+                _, info = graph.functions[name]
+                lo_hi = intervals.get(name)
+                for call in info.calls:
+                    target = graph.resolve_function(call.target)
+                    if target is None or target == name:
+                        continue
+                    if target.startswith("repro.io."):
+                        continue
+                    callee = intervals.get(target)
+                    # Only single-rank helpers propagate; a multi-rank
+                    # callee is an opaque, self-contained transaction.
+                    if callee is None or callee[0] != callee[1]:
+                        continue
+                    if lo_hi is None:
+                        lo_hi = callee
+                    else:
+                        lo_hi = (
+                            min(lo_hi[0], callee[0]),
+                            max(lo_hi[1], callee[1]),
+                        )
+                if lo_hi is not None and lo_hi != intervals.get(name):
+                    intervals[name] = lo_hi
+                    changed = True
+            if not changed:
+                break
+        return intervals

@@ -1,0 +1,101 @@
+"""REP009: jit kernel closures must be transitively effect-free.
+
+A function is a *jit root* when it is decorated ``@array_kernel`` (the
+facade registry binds and may jit-compile it under any backend tier) or
+when it is passed to ``maybe_jit``/``maybe_vmap`` directly.  Everything
+reachable from a root through resolved intra-project calls must perform
+no effect, because under a tracing jit the Python body runs **once** —
+at trace time — and anything it did then is frozen into (or absent
+from) the compiled artefact:
+
+* **IO** — a ``print`` fires once per compilation, a file write happens
+  at trace time with tracer values;
+* **RNG construction / entropy draws** — the draw happens once and the
+  same "random" constant is replayed forever (kernels must consume
+  pre-drawn variate arrays);
+* **wall-clock** — the timestamp is a trace-time constant;
+* **global/nonlocal writes** — invisible to the tracer, silently absent
+  from the compiled function;
+* **attribute/item writes on parameters** — in-place mutation of traced
+  arrays is either an error or a silent functional no-op, depending on
+  the backend.
+
+Where REP007 spots the syntactic tell (``np.`` inside a kernel body),
+this rule walks the call graph: a helper three calls down that opens a
+file poisons the root.  Unresolvable calls are opaque and assumed pure
+— the rule under-approximates, so every finding is real.
+
+Findings are reported at the jit root's ``def`` line (that is where the
+contract lives) with the call chain and the impure site spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Set, Tuple
+
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules.base import ProjectRule, ProjectViolation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["KernelPurityRule"]
+
+_KIND_LABEL = {
+    "io": "performs IO",
+    "rng": "constructs/draws RNG entropy",
+    "clock": "reads the wall clock",
+    "scope": "writes enclosing scope",
+    "mutation": "mutates a parameter",
+}
+
+
+class KernelPurityRule(ProjectRule):
+    code = "REP009"
+    name = "kernel-purity"
+    summary = (
+        "the transitive call closure of @array_kernel bodies and "
+        "maybe_jit-wrapped functions must be effect-free"
+    )
+
+    def check_project(
+        self, graph: ProjectGraph, config: "LintConfig"
+    ) -> Iterator[ProjectViolation]:
+        for root in self._roots(graph):
+            analysis, info = graph.functions[root]
+            chains = graph.call_closure(root)
+            reported: Set[Tuple[str, int, int]] = set()
+            for reached in sorted(chains):
+                _, reached_info = graph.functions[reached]
+                for fact in reached_info.impure:
+                    key = (reached, fact.line, fact.col)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    label = _KIND_LABEL.get(fact.kind, fact.kind)
+                    site = f"{reached} {label} (`{fact.what}`, line {fact.line})"
+                    chain = chains[reached]
+                    if len(chain) > 1:
+                        via = " -> ".join(
+                            name.rsplit(".", 1)[-1] for name in chain
+                        )
+                        site += f" via {via}"
+                    yield (
+                        analysis.relpath,
+                        info.line,
+                        info.col,
+                        f"jit root `{root.rsplit('.', 1)[-1]}` is not "
+                        f"effect-free: {site}",
+                    )
+
+    @staticmethod
+    def _roots(graph: ProjectGraph) -> List[str]:
+        roots: Set[str] = set()
+        for name, (_, info) in graph.functions.items():
+            if info.kernel:
+                roots.add(name)
+        for analysis in graph.modules.values():
+            for site in analysis.jit_roots:
+                if site.target in graph.functions:
+                    roots.add(site.target)
+        return sorted(roots)

@@ -1,0 +1,50 @@
+"""REP011: suppression comments must still suppress something.
+
+``# repro-lint: disable=REPxxx`` is a standing exception, and standing
+exceptions rot: the flagged line gets refactored away, the rule gets
+rescoped, and the comment stays behind — an allowlist entry nobody can
+explain that will silently swallow the *next* genuine finding on that
+line.  This rule closes the loop: after every other rule has run and
+suppressions have been applied, any disable comment (or individual code
+within one) that matched **no** finding is itself reported at the
+comment's line.  The net effect is that the suppression surface can only
+shrink — adding one requires a real finding, and removing the finding
+forces removing the comment.
+
+Mechanically this rule is a pass inside the engine rather than an AST
+visitor: it needs the applied-suppression bookkeeping (which comment
+absorbed which finding), which only the engine has.  The class below
+carries the rule's identity for ``--list-rules``, the policy table and
+the docs; its ``check`` yields nothing.
+
+``disable=REP011`` on the comment's own line suppresses the hygiene
+finding like any other rule — and *that* suppression is exempt from
+staleness, so the escape hatch does not recurse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.rules.base import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+__all__ = ["SuppressionHygieneRule"]
+
+
+class SuppressionHygieneRule(Rule):
+    code = "REP011"
+    name = "stale-suppression"
+    summary = (
+        "a `# repro-lint: disable=` comment whose codes no longer "
+        "suppress any finding is itself a finding"
+    )
+
+    def check(
+        self, tree: ast.AST, relpath: str, config: "LintConfig"
+    ) -> Iterator[Violation]:
+        """Implemented in the engine (needs suppression bookkeeping)."""
+        return iter(())

@@ -433,15 +433,21 @@ class TestSuppressions:
             "import numpy as np\n"
             "rng = np.random.default_rng()  # repro-lint: disable=REP002\n"
         )
-        assert _codes(findings) == ["REP001"]
+        # The REP001 finding survives, and the mismatched comment is
+        # itself reported stale (REP011).
+        assert _codes(findings) == ["REP001", "REP011"]
 
     def test_multi_code_suppression(self):
         findings = _lint(
             "import json\n"
             "# repro-lint: disable=REP002,REP003\n"
-            'doc = json.dumps(payload)\n'
+            "path.write_text(json.dumps(payload))\n"
         )
         assert _codes(findings) == []
+        assert sorted(_codes(findings, include_suppressed=True)) == [
+            "REP002",
+            "REP003",
+        ]
 
 
 # ---------------------------------------------------------------------------
