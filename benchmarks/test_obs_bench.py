@@ -1,0 +1,137 @@
+"""Observability benchmark: what does tracing cost a drain?
+
+Drains the same campaign with tracing off and tracing on (min of N
+repetitions each, fresh stores every time so no run resumes another's
+checkpoints) and writes the relative overhead to ``BENCH_obs.json`` at
+the repo root (committed, so reviewers can diff tracing-cost claims
+against the tree).  The acceptance gate is the tentpole's promise:
+**a traced drain stays within 3% of an untraced one** — spans piggyback
+on the checkpoint cadence and the kernel ledger the sampler keeps
+anyway, so tracing adds bookkeeping, not measurement.
+
+Also measured, because they are the other always-on costs: metric
+increments per second (the counters stay on unconditionally) and the
+per-cell wall cost of persisting trace documents.
+
+Run with ``pytest -m benchmarks benchmarks/test_obs_bench.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.api import Session, campaign, drain_once
+from repro.config import SamplingConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import RunStore
+
+from conftest import bench_scale
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_obs.json"
+
+_SCALED = {
+    "smoke": SamplingConfig(population_size=16, n_complexes=4, iterations=6),
+    "default": SamplingConfig(population_size=32, n_complexes=8, iterations=12),
+    "paper": SamplingConfig(population_size=64, n_complexes=16, iterations=30),
+}
+
+#: Drain repetitions per arm; min-of-N suppresses scheduler noise.
+_REPEATS = {"smoke": 3, "default": 3, "paper": 5}
+
+#: The acceptance ceiling on traced-drain overhead.
+MAX_OVERHEAD_FRACTION = 0.03
+
+QUIET = lambda _line: None  # noqa: E731
+
+
+def _grid(campaign_id: str, config: SamplingConfig):
+    return campaign(
+        campaign_id,
+        ["1cex(40:51)", "1akz(181:192)"],
+        {"bench": config},
+        seeds=2,
+        backends="gpu",
+        base_seed=43,
+        checkpoint_every=2,
+        workers=1,
+    )
+
+
+def _drain_seconds(root: pathlib.Path, campaign_id: str, config, trace: bool) -> float:
+    """Wall time of one full drain of a fresh store."""
+    store = RunStore(str(root))
+    Session(store).submit(_grid(campaign_id, config))
+    start = time.perf_counter()
+    report = drain_once(store, workers=1, progress=QUIET, trace=trace)
+    seconds = time.perf_counter() - start
+    assert report.executed == 4 and report.failed == 0
+    if trace:
+        assert store.has_shard_trace(campaign_id, 0)
+    return seconds
+
+
+def test_obs_benchmarks(tmp_path, capsys):
+    scale = bench_scale()
+    config = _SCALED.get(scale, _SCALED["smoke"])
+    repeats = _REPEATS.get(scale, 3)
+    report: dict = {
+        "scale": scale,
+        "config": {
+            "population_size": config.population_size,
+            "n_complexes": config.n_complexes,
+            "iterations": config.iterations,
+            "n_cells": 4,
+            "repeats": repeats,
+        },
+    }
+
+    # --- traced vs untraced drains, interleaved, min of N --------------
+    plain_times, traced_times = [], []
+    for rep in range(repeats):
+        plain_times.append(
+            _drain_seconds(tmp_path / f"plain-{rep}", "bench-plain", config, False)
+        )
+        traced_times.append(
+            _drain_seconds(tmp_path / f"traced-{rep}", "bench-traced", config, True)
+        )
+    plain, traced = min(plain_times), min(traced_times)
+    overhead = traced / plain - 1.0
+    report["tracing"] = {
+        "untraced_drain_seconds": round(plain, 4),
+        "traced_drain_seconds": round(traced, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+    }
+    # The tentpole gate: tracing rides within 3% of an untraced drain.
+    assert overhead <= MAX_OVERHEAD_FRACTION, (
+        f"traced drain {traced:.3f}s exceeds untraced {plain:.3f}s "
+        f"by {100 * overhead:.1f}% (> {100 * MAX_OVERHEAD_FRACTION:.0f}%)"
+    )
+
+    # --- trace document size (what the status channel carries) ---------
+    store = RunStore(str(tmp_path / "traced-0"))
+    sizes = [
+        store.trace_path("bench-traced", index).stat().st_size for index in range(4)
+    ]
+    report["tracing"]["trace_bytes_per_cell"] = round(sum(sizes) / len(sizes))
+
+    # --- metric increment throughput (counters stay on) -----------------
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_ops_total", "benchmark counter")
+    rounds = 200_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        counter.inc(outcome="executed")
+    inc_seconds = time.perf_counter() - start
+    report["metrics"] = {
+        "counter_incs_per_s": round(rounds / inc_seconds, 1),
+        "inc_cost_ns": round(1e9 * inc_seconds / rounds, 1),
+    }
+
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    with capsys.disabled():
+        print(f"\nwrote {OUTPUT}")
+        print(json.dumps(report, indent=2, sort_keys=True))

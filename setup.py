@@ -27,6 +27,7 @@ setup(
             "repro-campaign=repro.cli:campaign_main",
             "repro-daemon=repro.cli:daemon_main",
             "repro-serve=repro.cli:serve_main",
+            "repro-top=repro.cli:top_main",
             "repro-experiments=repro.cli:experiments_main",
             "repro-sample=repro.cli:sample_main",
             "repro-batch=repro.cli:batch_main",

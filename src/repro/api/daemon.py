@@ -50,6 +50,8 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.config import RuntimeConfig
 from repro.islands.broker import ready_to_resume
+from repro.obs.fleet import default_daemon_id, write_heartbeat
+from repro.obs.metrics import REGISTRY
 from repro.runtime.executor import PersistentPool, _cell_task, parallel_map
 from repro.runtime.spec import CellSpec
 from repro.runtime.store import RunStore, RunStoreError
@@ -68,6 +70,23 @@ ProgressFn = Callable[[str], None]
 #: Default per-cell attempt cap of a drain pass; cells that failed this
 #: many times are parked rather than retried (see :func:`drain_once`).
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+# Drain-loop telemetry (see repro.obs.metrics): counted alongside the
+# DrainReport fields and rendered at GET /v1/metrics on repro-serve.
+_CELLS = REGISTRY.counter(
+    "repro_drain_cells_total", "Cells handled by drain passes, by outcome."
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_drain_queue_depth", "Drainable cells found by the latest pass."
+)
+_PASS_SECONDS = REGISTRY.histogram(
+    "repro_drain_pass_seconds", "Wall seconds per drain pass (monotonic clock)."
+)
+_UTILIZATION = REGISTRY.gauge(
+    "repro_drain_worker_utilization",
+    "Busy fraction of the worker pool over the latest executing pass.",
+)
 
 
 @dataclass
@@ -103,6 +122,18 @@ class DrainReport:
             and self.skipped_cancelled == 0
             and self.skipped_leased == 0
         )
+
+    def counts(self) -> Dict[str, int]:
+        """The numeric outcome fields as a flat dict (heartbeat payloads)."""
+        return {
+            "executed": self.executed,
+            "failed": self.failed,
+            "waiting": self.waiting,
+            "cache_hits": self.cache_hits,
+            "skipped_cancelled": self.skipped_cancelled,
+            "skipped_exhausted": self.skipped_exhausted,
+            "skipped_leased": self.skipped_leased,
+        }
 
 
 def _pending_cells(
@@ -232,6 +263,7 @@ def drain_once(
     pool: Optional[PersistentPool] = None,
     leases: Optional["LeaseManager"] = None,
     cache: Optional["ResultCache"] = None,
+    trace: bool = False,
 ) -> DrainReport:
     """Execute every drainable cell in the store through one worker pool.
 
@@ -254,6 +286,9 @@ def drain_once(
     ``report.skipped_leased``, and waiting islands whose source packets
     are not on disk are left unclaimed for whichever daemon completes the
     sources.
+
+    ``trace`` asks each executed cell to record a span trace (telemetry
+    only — see :func:`repro.runtime.executor.run_cell`).
     """
     pending, skipped, exhausted, campaigns = _pending_cells(
         store, progress, max_attempts
@@ -263,6 +298,7 @@ def drain_once(
         skipped_exhausted=exhausted,
         campaigns=campaigns,
     )
+    _QUEUE_DEPTH.set(len(pending))
     if not pending:
         if progress is not None and skipped == 0:
             progress(f"store {store.root}: nothing to drain")
@@ -273,6 +309,7 @@ def drain_once(
         for cell in pending:
             if cache.fill(store, cell) is not None:
                 report.cache_hits += 1
+                _CELLS.inc(outcome="cache_hit")
                 if progress is not None:
                     progress(f"{cell.run_id}/{cell.name}: filled from cache")
             else:
@@ -287,11 +324,13 @@ def drain_once(
                 # A waiting island without its packets would execute only
                 # to re-park; leave it unclaimed and stay non-idle.
                 report.waiting += 1
+                _CELLS.inc(outcome="waiting")
                 continue
             if leases.claim(cell.run_id, cell.index):
                 claimed.append(cell)
             else:
                 report.skipped_leased += 1
+                _CELLS.inc(outcome="skipped_leased")
         pending = claimed
 
     if not pending:
@@ -303,8 +342,10 @@ def drain_once(
             f"{len(campaigns)} campaign(s)"
         )
     payloads = [
-        {"store_root": str(store.root), "cell": cell.to_dict()} for cell in pending
+        {"store_root": str(store.root), "cell": cell.to_dict(), "trace": trace}
+        for cell in pending
     ]
+    busy = {"seconds": 0.0}
 
     def _report(pos: int, summary: Dict) -> None:
         cell = pending[pos]
@@ -317,10 +358,12 @@ def drain_once(
         if "error" in summary:
             report.failed += 1
             report.errors[f"{cell.run_id}/{cell.name}"] = summary["error"]
+            _CELLS.inc(outcome="failed")
             if progress is not None:
                 progress(f"{cell.run_id}/{cell.name}: FAILED {summary['error']}")
         elif summary.get("waiting"):
             report.waiting += 1
+            _CELLS.inc(outcome="waiting")
             if progress is not None:
                 progress(
                     f"{cell.run_id}/{cell.name}: waiting at migration epoch "
@@ -329,6 +372,8 @@ def drain_once(
                 )
         else:
             report.executed += 1
+            _CELLS.inc(outcome="executed")
+            busy["seconds"] += float(summary.get("wall_seconds", 0.0) or 0.0)
             if cache is not None:
                 cache.publish(store, cell)
             if progress is not None:
@@ -341,6 +386,7 @@ def drain_once(
     effective_workers = workers if workers is not None else _DEFAULTS.workers
     tick = leases.renew_all if leases is not None else None
     tick_seconds = leases.ttl_seconds / 3.0 if leases is not None else 5.0
+    pass_started = time.perf_counter()
     try:
         parallel_map(
             _cell_task,
@@ -354,6 +400,15 @@ def drain_once(
     finally:
         if leases is not None:
             leases.release_all()
+        pass_seconds = time.perf_counter() - pass_started
+        _PASS_SECONDS.observe(pass_seconds)
+        if pass_seconds > 0.0:
+            _UTILIZATION.set(
+                min(
+                    1.0,
+                    busy["seconds"] / (max(effective_workers, 1) * pass_seconds),
+                )
+            )
     return report
 
 
@@ -368,6 +423,8 @@ def serve(
     cache: Optional["ResultCache"] = None,
     cache_max_entries: Optional[int] = None,
     cache_max_age_days: Optional[float] = None,
+    trace: bool = False,
+    daemon_id: Optional[str] = None,
 ) -> DrainReport:
     """Drain the store in a loop, sleeping ``poll_seconds`` between passes.
 
@@ -385,11 +442,36 @@ def serve(
     daemon prunes it LRU-by-mtime (see
     :meth:`~repro.serve.cache.ResultCache.prune`), so a long-lived fleet
     cannot grow the shared cache without bound.
+
+    After every pass the daemon rewrites its heartbeat under
+    ``<store>/.fleet/`` (pass counts, cache stats, a metrics snapshot) —
+    the feed behind ``GET /v1/fleet`` and ``repro-top``.  ``daemon_id``
+    defaults to the lease manager's identity (or host.pid without leases)
+    so the fleet view and the lease files name the same daemon.
     """
     report = DrainReport()
     cycle = 0
     effective_workers = workers if workers is not None else _DEFAULTS.workers
     pool = PersistentPool(effective_workers) if effective_workers > 1 else None
+    if daemon_id is None:
+        daemon_id = (
+            leases.daemon_id if leases is not None else default_daemon_id()
+        )
+
+    def _heartbeat() -> None:
+        try:
+            write_heartbeat(
+                store,
+                daemon_id,
+                workers=effective_workers,
+                cycle=cycle,
+                report=report.counts(),
+                cache_stats=cache.stats if cache is not None else None,
+                metrics=REGISTRY.snapshot(),
+            )
+        except OSError:  # pragma: no cover - full disk etc.
+            pass  # a heartbeat is telemetry; never kill the daemon for it
+
     try:
         while max_cycles is None or cycle < max_cycles:
             try:
@@ -401,6 +483,7 @@ def serve(
                     pool=pool,
                     leases=leases,
                     cache=cache,
+                    trace=trace,
                 )
             except BrokenProcessPool as exc:  # pragma: no cover - worker crash
                 if progress is not None:
@@ -415,6 +498,7 @@ def serve(
                 if pruned and progress is not None:
                     progress(f"pruned {pruned} cache entries")
             cycle += 1
+            _heartbeat()
             if max_cycles is not None and cycle >= max_cycles:
                 break
             time.sleep(poll_seconds)

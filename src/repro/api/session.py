@@ -309,6 +309,10 @@ class Session:
         :meth:`run` fill already-known cells from it the moment the
         manifest lands — a resubmitted identical campaign completes
         without a single cell execution, before any daemon even polls.
+    trace:
+        Record a span trace per executed cell (see :mod:`repro.obs.trace`).
+        Telemetry only: traced and untraced runs produce byte-identical
+        journals, results and cache keys.
     """
 
     def __init__(
@@ -317,6 +321,7 @@ class Session:
         workers: Optional[int] = None,
         progress=None,
         cache: Union["ResultCache", str, Path, None] = None,
+        trace: bool = False,
     ) -> None:
         if isinstance(store, RunStore):
             self.store = store
@@ -330,6 +335,7 @@ class Session:
             from repro.serve.cache import ResultCache as _ResultCache
 
             self.cache = _ResultCache(cache)
+        self.trace = bool(trace)
         self._tempdir: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -366,7 +372,12 @@ class Session:
     # ------------------------------------------------------------------
 
     def _executor(self) -> ShardExecutor:
-        return ShardExecutor(self.store, workers=self.workers, progress=self.progress)
+        return ShardExecutor(
+            self.store,
+            workers=self.workers,
+            progress=self.progress,
+            trace=self.trace,
+        )
 
     @staticmethod
     def _validate(campaign: Union[Campaign, RunSpec]) -> None:

@@ -1,6 +1,6 @@
 """Command-line interface: thin wrappers over :mod:`repro.api`.
 
-Five entry points are exposed (see ``setup.py``):
+The entry points exposed (see ``setup.py``):
 
 ``repro-campaign``
     The front door.  Declare a multi-target grid (targets x configs x
@@ -32,6 +32,15 @@ Five entry points are exposed (see ``setup.py``):
 
         repro-serve --store /var/repro-store --port 8080
         curl -X POST http://localhost:8080/v1/campaigns -d @campaign.json
+        curl http://localhost:8080/v1/metrics          # Prometheus text
+        curl http://localhost:8080/v1/fleet            # daemon heartbeats
+
+``repro-top``
+    A read-only live view of one store: daemon fleet (from heartbeats),
+    per-campaign progress bars, and journal tails — ``top`` for a
+    campaign fleet::
+
+        repro-top --store /var/repro-store --interval 2
 
 ``repro-experiments``
     Run one, several or all experiment drivers at a chosen scale and print
@@ -82,6 +91,7 @@ __all__ = [
     "campaign_main",
     "daemon_main",
     "serve_main",
+    "top_main",
 ]
 
 
@@ -518,6 +528,10 @@ def _campaign_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes (default: the campaign's)",
     )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace per cell (export with: repro-campaign trace)",
+    )
     _add_migration_flags(run)
 
     status = sub.add_parser("status", help="show per-cell progress")
@@ -535,6 +549,17 @@ def _campaign_parser() -> argparse.ArgumentParser:
         "cancel", help="stop the daemon from scheduling a campaign's pending cells"
     )
     cancel.add_argument("campaign_id", help="campaign id")
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a campaign's per-cell span traces as one Chrome "
+        "trace-event JSON file (loadable in Perfetto / chrome://tracing)",
+    )
+    trace.add_argument("campaign_id", help="campaign id")
+    trace.add_argument(
+        "--out", default=None,
+        help="output path (default: <campaign_id>-trace.json)",
+    )
     return parser
 
 
@@ -585,6 +610,7 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         session.workers = args.workers
+        session.trace = bool(args.trace)
         result = session.run(_apply_migration_flags(load_campaign(args.file), args))
         _print_campaign_result(result)
         return 0
@@ -611,7 +637,34 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"cancelled {args.campaign_id}: pending cells will not be "
               "scheduled (running cells finish their trajectory)")
         return 0
+    if args.command == "trace":
+        return _campaign_trace(session, args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _campaign_trace(session, args) -> int:
+    """Merge a campaign's per-cell traces into one Chrome trace file."""
+    from repro.io import write_json_atomic
+    from repro.obs.trace import chrome_trace
+
+    handle = session.handle(args.campaign_id)
+    store = session.store
+    cell_traces = []
+    for cell in handle.spec.cells():
+        if store.has_shard_trace(handle.campaign_id, cell.index):
+            cell_traces.append(
+                (cell.name, store.load_shard_trace(handle.campaign_id, cell.index))
+            )
+    if not cell_traces:
+        print(f"no traces recorded for {args.campaign_id}: drain with "
+              "repro-daemon --trace (or repro-campaign run --trace)")
+        return 1
+    document = chrome_trace(args.campaign_id, cell_traces)
+    out = args.out or f"{args.campaign_id}-trace.json"
+    write_json_atomic(out, document)
+    print(f"wrote {len(cell_traces)} cell trace(s) to {out} "
+          "(open in Perfetto or chrome://tracing)")
+    return 0
 
 
 def _daemon_parser() -> argparse.ArgumentParser:
@@ -677,6 +730,11 @@ def _daemon_parser() -> argparse.ArgumentParser:
         help="prune result-cache entries older than this many days "
         "after each drain pass",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace per executed cell (telemetry only; "
+        "export with: repro-campaign trace <id>)",
+    )
     return parser
 
 
@@ -717,6 +775,7 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             max_attempts=max_attempts,
             leases=leases,
             cache=cache,
+            trace=args.trace,
         )
         if cache is not None and (
             args.cache_max_entries is not None
@@ -728,6 +787,21 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             )
             if pruned:
                 print(f"pruned {pruned} cache entries")
+        # Single passes heartbeat too, so even a cron-driven fleet of
+        # --drain-once daemons shows up in /v1/fleet and repro-top.
+        from repro.obs.fleet import default_daemon_id, write_heartbeat
+        from repro.obs.metrics import REGISTRY
+
+        write_heartbeat(
+            store,
+            args.daemon_id
+            or (leases.daemon_id if leases is not None else default_daemon_id()),
+            workers=args.workers,
+            cycle=1,
+            report=report.counts(),
+            cache_stats=cache.stats if cache is not None else None,
+            metrics=REGISTRY.snapshot(),
+        )
     else:
         report = serve(
             store,
@@ -740,6 +814,8 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
             cache=cache,
             cache_max_entries=args.cache_max_entries,
             cache_max_age_days=args.cache_max_age_days,
+            trace=args.trace,
+            daemon_id=args.daemon_id,
         )
     print(f"drained {report.executed} cell(s), {report.failed} failure(s), "
           f"{report.waiting} waiting on migration, "
@@ -747,6 +823,11 @@ def daemon_main(argv: Optional[Sequence[str]] = None) -> int:
           f"{report.skipped_leased} leased to other daemons, "
           f"{report.skipped_cancelled} cancelled-pending skipped, "
           f"{report.skipped_exhausted} parked after repeated failures")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['publishes']} publish(es), "
+              f"{stats['evictions']} eviction(s)")
     return 1 if report.failed else 0
 
 
@@ -790,6 +871,64 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         cache=args.cache,
         progress=print,
     )
+    return 0
+
+
+def _top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live fleet and campaign status of one run store "
+        "(read-only; renders heartbeats, cell states and journal tails).",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_RUNTIME.store_root,
+        help=f"run-store directory (default: {_DEFAULT_RUNTIME.store_root})",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame (no screen clearing) and exit",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after this many frames (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--stale-seconds", type=float, default=120.0,
+        help="heartbeats older than this count the daemon as gone "
+        "(default: 120)",
+    )
+    return parser
+
+
+def top_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-top``."""
+    import time as _time
+
+    configure_logging()
+    args = _top_parser().parse_args(argv)
+    from repro.obs.top import render_screen
+    from repro.runtime import RunStore
+
+    store = RunStore(args.store)
+    frames = 1 if args.once else args.iterations
+    rendered = 0
+    try:
+        while True:
+            screen = render_screen(store, stale_seconds=args.stale_seconds)
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear + home, like top(1)
+            print(screen)
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
     return 0
 
 

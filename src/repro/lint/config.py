@@ -82,8 +82,11 @@ LAYER_BANDS: Dict[str, int] = {
     "utils": 0,
     "io": 0,
     "config": 0,
-    # band 1: the array-API facade (pure dispatch over namespaces)
+    # band 1: the array-API facade (pure dispatch over namespaces) and
+    # the telemetry subsystem (duck-typed over the store, so every layer
+    # above can instrument itself through it)
     "xp": 1,
+    "obs": 1,
     # band 2: domain data + math
     "protein": 2,
     "geometry": 2,
@@ -129,13 +132,20 @@ DURABLE_SUMMARIES: Tuple[str, ...] = (
     "summary.json",
 )
 
-#: Transient channel files (status, leases, cancellation flags): they
-#: carry no durability promise, are rewritten freely, and are exempt
-#: from the ordering state machine.
+#: Transient channel files (status, leases, cancellation flags, and the
+#: telemetry documents of :mod:`repro.obs` — heartbeats and span traces):
+#: they carry no durability promise, are rewritten freely, and are exempt
+#: from the ordering state machine.  This list is also the policy pin for
+#: the observability invariant: telemetry rides the status channel ONLY —
+#: a heartbeat or trace filename appearing here must never also appear in
+#: DURABLE_MARKERS/DURABLE_SUMMARIES, and nothing from repro/obs/ may
+#: reach a journal payload or a cache key (REP004 patrols repro/obs/).
 PROTOCOL_TRANSIENT: Tuple[str, ...] = (
     "status.json",
     "lease.json",
     "cancelled.json",
+    "heartbeat.json",
+    "trace.json",
 )
 
 
@@ -172,7 +182,13 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     # Durable writes in the store-backed subsystems must go through the
     # atomic helpers of repro/io.py (which lives outside the scope).
     "REP002": RuleConfig(
-        scope=("repro/runtime/", "repro/islands/", "repro/api/", "repro/serve/"),
+        scope=(
+            "repro/runtime/",
+            "repro/islands/",
+            "repro/api/",
+            "repro/serve/",
+            "repro/obs/",
+        ),
     ),
     # Deterministic ordering everywhere; the serialisation half of the
     # rule (json.dumps needs sort_keys=True) patrols the store-backed
@@ -182,7 +198,13 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     # modules listed in WALLCLOCK_FREE_MODULES must be wall-clock free in
     # their entirety; elsewhere only payload call sites are patrolled.
     "REP004": RuleConfig(
-        scope=("repro/runtime/", "repro/islands/", "repro/api/", "repro/serve/"),
+        scope=(
+            "repro/runtime/",
+            "repro/islands/",
+            "repro/api/",
+            "repro/serve/",
+            "repro/obs/",
+        ),
     ),
     # Kernel hot paths must stream through the pairwise chunking helpers
     # instead of materialising dense (P, P) intermediates.
@@ -216,7 +238,7 @@ DEFAULT_RULE_CONFIG: Dict[str, RuleConfig] = {
     # markers within each function (transitively through intra-module
     # helpers); patrols the store-backed subsystems.
     "REP010": RuleConfig(
-        scope=("repro/serve/", "repro/runtime/", "repro/islands/"),
+        scope=("repro/serve/", "repro/runtime/", "repro/islands/", "repro/obs/"),
     ),
     # Suppression hygiene: a disable comment whose codes no longer
     # suppress anything is itself a finding.  Whole-tree rule.

@@ -1,0 +1,266 @@
+"""A process-wide metrics registry with Prometheus text rendering.
+
+Counters, gauges and fixed-bucket histograms, stdlib only.  Instruments
+the serving layer (lease claims and takeovers, cache hits/misses/
+evictions, drain throughput, queue depth, worker utilisation) and renders
+at ``GET /v1/metrics`` on ``repro-serve`` in the Prometheus text
+exposition format (version 0.0.4), so a stock Prometheus scrape job —
+or plain ``curl`` — reads a daemon fleet without any client library.
+
+One module-level :data:`REGISTRY` is the process default; libraries
+increment through it, tests construct private registries.  Everything is
+lock-protected (the HTTP server renders from handler threads while the
+drain loop increments) and rendering iterates families and label sets in
+sorted order, so two renders of the same state are byte-identical.
+
+Metrics are telemetry, not state: nothing here may feed a journal
+payload, a cache key or a checkpoint (REP004 patrols this package), and
+a counter increment is two dict operations under a lock — cheap enough
+to leave on unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+#: Default histogram buckets (seconds-flavoured, widely useful).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _render_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared plumbing of one metric family (name, help, label series)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = lock
+        self._series: Dict[_LabelKey, float] = {}
+
+    def value(self, **labels: object) -> float:
+        """Current value of one label series (0 when never touched)."""
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def _render_series(self) -> List[str]:
+        return [
+            f"{self.name}{_render_labels(key)} {_render_value(value)}"
+            for key, value in sorted(self._series.items())
+        ]
+
+    def render(self) -> List[str]:
+        """The family's exposition lines (HELP, TYPE, then series)."""
+        with self._lock:
+            lines = [
+                f"# HELP {self.name} {self.help_text}",
+                f"# TYPE {self.name} {self.kind}",
+            ]
+            lines.extend(self._render_series())
+            return lines
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{"name{labels}": value}`` view (heartbeat payloads)."""
+        with self._lock:
+            return {
+                f"{self.name}{_render_labels(key)}": value
+                for key, value in sorted(self._series.items())
+            }
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (default 1) to one label series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, utilisation, ...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set one label series to ``value``."""
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (possibly negative) to one label series."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution, rendered as cumulative ``_bucket`` series."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, lock)
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self._bucket_counts: Dict[_LabelKey, List[int]] = {}
+        self._counts: Dict[_LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._bucket_counts.setdefault(key, [0] * len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._series[key] = self._series.get(key, 0.0) + value  # running sum
+
+    def _render_series(self) -> List[str]:
+        lines: List[str] = []
+        for key in sorted(self._bucket_counts):
+            counts = self._bucket_counts[key]
+            for bound, count in zip(self.buckets, counts):
+                bucket_key = key + (("le", _render_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(tuple(sorted(bucket_key)))} "
+                    f"{count}"
+                )
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(tuple(sorted(inf_key)))} "
+                f"{self._counts[key]}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_render_value(self._series.get(key, 0.0))}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {self._counts[key]}")
+        return lines
+
+
+class MetricsRegistry:
+    """Creates, holds and renders the metric families of one process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Metric] = {}
+
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Metric:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                if cls is Histogram:
+                    family = Histogram(
+                        name,
+                        help_text,
+                        threading.Lock(),
+                        buckets if buckets is not None else DEFAULT_BUCKETS,
+                    )
+                else:
+                    family = cls(name, help_text, threading.Lock())
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get-or-create the counter family ``name``."""
+        family = self._get(Counter, name, help_text)
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get-or-create the gauge family ``name``."""
+        family = self._get(Gauge, name, help_text)
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get-or-create the histogram family ``name``."""
+        family = self._get(Histogram, name, help_text, buckets)
+        assert isinstance(family, Histogram)
+        return family
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family, sorted by name."""
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Union[float, int]]:
+        """Flat series map of every family (heartbeat payloads)."""
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        out: Dict[str, Union[float, int]] = {}
+        for family in families:
+            out.update(family.snapshot())
+        return out
+
+
+#: The process-wide default registry every subsystem increments through.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,139 @@
+"""Plain-text fleet and campaign status rendering for ``repro-top``.
+
+``repro-top`` is a read-only observer: it polls the store for daemon
+heartbeats (:mod:`repro.obs.fleet`), per-campaign cell states and the
+tail of each campaign journal, and renders one text screen per tick.
+It holds no locks, claims no leases and writes nothing — pointing ten
+``repro-top`` instances at a store changes nothing about a drain.
+
+The renderer is split into pure functions over already-read documents
+(:func:`render_fleet`, :func:`render_campaigns`, :func:`render_journal`)
+so tests can feed fixed snapshots and assert exact text, and one
+store-polling composition (:func:`render_screen`) used by the CLI loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.fleet import fleet_snapshot
+
+if TYPE_CHECKING:
+    from repro.runtime.store import RunStore
+
+__all__ = [
+    "campaign_rows",
+    "render_campaigns",
+    "render_fleet",
+    "render_journal",
+    "render_screen",
+]
+
+#: Cell states in display order; unknown states sort after these.
+_STATE_ORDER = ("done", "running", "waiting", "failed", "pending")
+
+
+def render_fleet(snapshot: Dict[str, Any]) -> str:
+    """The daemon table of one fleet snapshot (see :func:`fleet_snapshot`)."""
+    lines = [
+        f"fleet: {snapshot['n_alive']}/{snapshot['n_daemons']} daemon(s) alive, "
+        f"{snapshot['workers']} worker(s)"
+    ]
+    if snapshot["daemons"]:
+        lines.append(
+            f"  {'daemon':<28}{'alive':<7}{'age':>8}{'workers':>9}{'cycle':>7}  drained"
+        )
+    for daemon in snapshot["daemons"]:
+        report = daemon.get("report", {})
+        drained = ", ".join(
+            f"{key}={int(report[key])}" for key in sorted(report) if report[key]
+        )
+        lines.append(
+            f"  {str(daemon.get('daemon', '?')):<28}"
+            f"{'yes' if daemon.get('alive') else 'NO':<7}"
+            f"{daemon.get('age_seconds', 0.0):>7.1f}s"
+            f"{daemon.get('workers') or 0:>9}"
+            f"{daemon.get('cycle', 0):>7}  {drained}"
+        )
+    totals = snapshot.get("totals", {})
+    cache = totals.get("cache", {})
+    if cache:
+        summary = ", ".join(f"{key}={int(cache[key])}" for key in sorted(cache))
+        lines.append(f"  cache totals: {summary}")
+    return "\n".join(lines)
+
+
+def campaign_rows(store: "RunStore") -> List[Tuple[str, Dict[str, int], int]]:
+    """``(campaign_id, state counts, n_cells)`` for every run in the store.
+
+    States come from each cell's status document, with results on disk
+    overriding (a worker killed after writing its result but before its
+    final status update still counts as done).
+    """
+    rows: List[Tuple[str, Dict[str, int], int]] = []
+    for run_id in store.list_runs():
+        try:
+            spec = store.load_manifest(run_id).spec
+            cells = spec.cells()
+        except Exception:
+            continue
+        counts: Dict[str, int] = {}
+        for cell in cells:
+            if store.has_shard_result(run_id, cell.index):
+                state = "done"
+            else:
+                status = store.read_shard_status(run_id, cell.index)
+                state = str(status.get("state", "pending"))
+            counts[state] = counts.get(state, 0) + 1
+        rows.append((run_id, counts, len(cells)))
+    return rows
+
+
+def render_campaigns(rows: Sequence[Tuple[str, Dict[str, int], int]]) -> str:
+    """The campaign table from :func:`campaign_rows` output."""
+    lines = [f"campaigns: {len(rows)}"]
+    for run_id, counts, n_cells in rows:
+        ordered = [s for s in _STATE_ORDER if counts.get(s)]
+        ordered += [s for s in sorted(counts) if s not in _STATE_ORDER]
+        summary = ", ".join(f"{counts[s]} {s}" for s in ordered) or "empty"
+        done = counts.get("done", 0)
+        bar_width = 20
+        filled = int(round(bar_width * done / n_cells)) if n_cells else 0
+        bar = "#" * filled + "." * (bar_width - filled)
+        lines.append(f"  {run_id:<28}[{bar}] {done}/{n_cells}  {summary}")
+    return "\n".join(lines)
+
+
+def render_journal(store: "RunStore", run_id: str, tail: int = 5) -> str:
+    """The last ``tail`` journal events of one campaign, one line each."""
+    try:
+        events, _offset = store.read_journal(run_id)
+    except Exception:
+        return ""
+    lines: List[str] = []
+    for event in events[-tail:]:
+        kind = str(event.get("type", "?"))
+        detail = ", ".join(
+            f"{key}={event[key]}" for key in sorted(event) if key != "type"
+        )
+        lines.append(f"    {kind}: {detail}")
+    return "\n".join(lines)
+
+
+def render_screen(
+    store: "RunStore",
+    stale_seconds: float = 120.0,
+    journal_tail: int = 3,
+    now: Optional[float] = None,
+) -> str:
+    """One full ``repro-top`` frame: fleet, campaigns, journal tails."""
+    sections = [render_fleet(fleet_snapshot(store, stale_seconds, now=now))]
+    rows = campaign_rows(store)
+    sections.append(render_campaigns(rows))
+    for run_id, counts, _ in rows:
+        if counts.get("done", 0) == sum(counts.values()):
+            continue
+        journal = render_journal(store, run_id, tail=journal_tail)
+        if journal:
+            sections.append(f"  journal {run_id}:\n{journal}")
+    return "\n\n".join(sections)

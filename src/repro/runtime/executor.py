@@ -60,6 +60,7 @@ from typing import (
 from repro.analysis.aggregation import merge_decoy_sets, merge_timing_ledgers
 from repro.islands.broker import MigrationBroker, WaitingForPackets
 from repro.moscem.decoys import DecoySet
+from repro.obs.trace import Tracer, ledger_snapshot
 from repro.runtime.checkpoint import (
     has_checkpoint,
     load_checkpoint,
@@ -276,7 +277,9 @@ def _build_sampler(cell: CellSpec) -> "MOSCEMSampler":
     )
 
 
-def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
+def run_cell(
+    store: RunStore, cell: CellSpec, trace: bool = False
+) -> Dict[str, Any]:
     """Execute (or resume) one cell; returns its summary.
 
     Runs inside a worker process, but is equally callable inline — the
@@ -284,6 +287,13 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
     Cells of a migrating archipelago may return a ``waiting`` summary
     instead of completing: the cell checkpointed at a migration boundary
     whose source packets are not on disk yet, and a later pass resumes it.
+
+    With ``trace`` on, the cell records a span tree — one *epoch* span per
+    checkpoint segment, each absorbing the kernel ledger's delta as leaf
+    spans — persisted as the shard's ``trace.json``.  Tracing is pure
+    telemetry on the status channel: nothing it records feeds the result,
+    the journal or the checkpoints, so traced and untraced drains produce
+    byte-identical replay surfaces.
     """
     index = cell.index
     shard_dir = store.shard_dir(cell.run_id, index)
@@ -292,6 +302,27 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         return store.load_shard_summary(cell.run_id, index)
 
     sampler = _build_sampler(cell)
+    tracer: Optional[Tracer] = Tracer() if trace else None
+    epoch_state: Dict[str, Any] = {"index": 0, "kernel": {}}
+
+    def _epoch_open(iteration: int) -> None:
+        """Start the next epoch span, snapshotting the kernel ledger."""
+        if tracer is None:
+            return
+        epoch_state["kernel"] = ledger_snapshot(sampler.backend.ledger)
+        tracer.begin(
+            f"epoch {epoch_state['index']}", "epoch", start_iteration=iteration
+        )
+
+    def _epoch_close() -> None:
+        """Close the open epoch, absorbing the kernel ledger's delta."""
+        if tracer is None:
+            return
+        tracer.absorb_ledger(
+            sampler.backend.ledger, category="kernel", since=epoch_state["kernel"]
+        )
+        tracer.end()
+        epoch_state["index"] += 1
 
     plan = cell.migration
     migrating = (
@@ -408,10 +439,10 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         return True
 
     def _on_iteration(live_state: "SamplerState") -> None:
-        if _maybe_migrate(live_state):
-            return
+        checkpointed = _maybe_migrate(live_state)
         if (
-            cell.checkpoint_every > 0
+            not checkpointed
+            and cell.checkpoint_every > 0
             and live_state.iteration % cell.checkpoint_every == 0
             and live_state.iteration < cell.config.iterations
         ):
@@ -425,6 +456,23 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
                     checkpoint_iteration=live_state.iteration,
                 ),
             )
+            checkpointed = True
+        if checkpointed and tracer is not None:
+            # Checkpoint boundaries delimit the trace's epoch spans.
+            _epoch_close()
+            _epoch_open(live_state.iteration)
+
+    if tracer is not None:
+        tracer.begin(
+            f"cell {cell.name}",
+            "cell",
+            target=cell.target,
+            backend=cell.backend,
+            seed=cell.seed,
+            run_id=cell.run_id,
+            resumed_from=resumed_from,
+        )
+        _epoch_open(0 if state is None else state.iteration)
 
     try:
         if state is not None:
@@ -474,6 +522,18 @@ def run_cell(store: RunStore, cell: CellSpec) -> Dict[str, Any]:
         host_ledger=result.host_ledger,
         kernel_ledger=result.kernel_ledger,
     )
+    if tracer is not None:
+        _epoch_close()
+        root = tracer.current
+        if root is not None:
+            # Lay the host-side sections after the last epoch so same-level
+            # spans never overlap in the Chrome-trace rendering.
+            host_start = max((c.end for c in root.children), default=root.start)
+            tracer.absorb_ledger(
+                result.host_ledger, category="host", start=host_start
+            )
+        tracer.end()
+        store.save_shard_trace(cell.run_id, index, tracer.to_dict())
     # Wall-clock stamps live in the status document — the mutable,
     # non-replayed metadata channel (it already carries the pid) — never
     # in journal payloads, which kill-and-redrain replays must reproduce
@@ -515,7 +575,7 @@ def _cell_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     store = RunStore(payload["store_root"])
     cell = CellSpec.from_dict(payload["cell"])
     try:
-        return run_cell(store, cell)
+        return run_cell(store, cell, trace=bool(payload.get("trace", False)))
     except Exception as exc:  # noqa: BLE001 - reported via the summary
         detail = traceback.format_exc(limit=20)
         try:
@@ -566,10 +626,12 @@ class ShardExecutor:
         store: RunStore,
         workers: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
+        trace: bool = False,
     ) -> None:
         self.store = store
         self.workers = workers
         self.progress = progress
+        self.trace = bool(trace)
         self._logger = get_logger("runtime.executor")
 
     def _emit(self, line: str) -> None:
@@ -638,6 +700,7 @@ class ShardExecutor:
                 {
                     "store_root": str(self.store.root),
                     "cell": spec.cell(index).to_dict(),
+                    "trace": self.trace,
                 }
                 for index in pending
             ]

@@ -59,20 +59,6 @@ def _read_json(path: Path) -> Dict[str, Any]:
         raise RunStoreError(f"unreadable store file {path}: {exc}") from exc
 
 
-def _ledger_to_dict(ledger: TimingLedger) -> Dict[str, Dict[str, float]]:
-    return {
-        name: {"calls": rec.calls, "total_seconds": rec.total_seconds}
-        for name, rec in ledger.records.items()
-    }
-
-
-def _ledger_from_dict(payload: Dict[str, Dict[str, float]]) -> TimingLedger:
-    ledger = TimingLedger()
-    for name, rec in payload.items():
-        ledger.add(name, float(rec["total_seconds"]), calls=int(rec["calls"]))
-    return ledger
-
-
 class RunStore:
     """File-system backed store of runs, shards, checkpoints and results."""
 
@@ -306,6 +292,41 @@ class RunStore:
             return {"state": "pending"}
 
     # ------------------------------------------------------------------
+    # Shard traces (telemetry — status channel, never replay-compared)
+    # ------------------------------------------------------------------
+
+    def trace_path(self, run_id: str, index: int) -> Path:
+        """The per-cell span-trace document (see :mod:`repro.obs.trace`).
+
+        Like ``status.json``, a trace is transient telemetry: absent
+        unless the cell was drained with tracing on, freely overwritten
+        on re-drains, and never part of the replay-compared surface.
+        """
+        return self.shard_dir(run_id, index) / "trace.json"
+
+    def save_shard_trace(
+        self, run_id: str, index: int, document: Dict[str, Any]
+    ) -> None:
+        """Atomically replace the trace document of a shard."""
+        path = self.trace_path(run_id, index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json_atomic(path, document)
+
+    def has_shard_trace(self, run_id: str, index: int) -> bool:
+        """Whether a shard has persisted a span trace."""
+        return self.trace_path(run_id, index).is_file()
+
+    def load_shard_trace(self, run_id: str, index: int) -> Dict[str, Any]:
+        """The trace document of a shard (raises if never traced)."""
+        try:
+            return _read_json(self.trace_path(run_id, index))
+        except FileNotFoundError:
+            raise RunStoreError(
+                f"shard {index} of run {run_id!r} has no trace "
+                "(drain with tracing enabled)"
+            ) from None
+
+    # ------------------------------------------------------------------
     # Shard results
     # ------------------------------------------------------------------
 
@@ -325,8 +346,8 @@ class RunStore:
         payload = dict(summary)
         payload["n_decoys"] = len(decoys)
         payload["distinctness_threshold"] = float(decoys.distinctness_threshold)
-        payload["host_ledger"] = _ledger_to_dict(host_ledger or TimingLedger())
-        payload["kernel_ledger"] = _ledger_to_dict(kernel_ledger or TimingLedger())
+        payload["host_ledger"] = (host_ledger or TimingLedger()).to_dict()
+        payload["kernel_ledger"] = (kernel_ledger or TimingLedger()).to_dict()
         write_json_atomic(shard_dir / "result.json", payload)
 
     def has_shard_result(self, run_id: str, index: int) -> bool:
@@ -359,8 +380,8 @@ class RunStore:
             float(summary["distinctness_threshold"]),
         )
         ledgers = {
-            "host": _ledger_from_dict(summary.get("host_ledger", {})),
-            "kernel": _ledger_from_dict(summary.get("kernel_ledger", {})),
+            "host": TimingLedger.from_dict(summary.get("host_ledger", {})),
+            "kernel": TimingLedger.from_dict(summary.get("kernel_ledger", {})),
         }
         return summary, decoys, ledgers
 

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.io import write_bytes_atomic, write_json_atomic
+from repro.obs.metrics import REGISTRY
 from repro.runtime.spec import CellSpec
 from repro.runtime.store import RunStore
 
@@ -51,6 +52,19 @@ __all__ = [
 #: Version stamp mixed into every cache key; bump to invalidate the cache
 #: wholesale when the result layout (or the sampler's semantics) changes.
 CACHE_FORMAT_VERSION: int = 1
+
+# Cache telemetry (see repro.obs.metrics): process-wide counters behind
+# GET /v1/metrics, mirrored per-instance in ResultCache.stats for the
+# daemon's end-of-drain summary and heartbeats.
+_REQUESTS = REGISTRY.counter(
+    "repro_cache_requests_total", "Cache fill lookups, by outcome (hit/miss)."
+)
+_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total", "Cache entries evicted (poisoned or pruned)."
+)
+_PUBLISHES = REGISTRY.counter(
+    "repro_cache_publishes_total", "Cell results published into the cache."
+)
 
 #: Summary fields that name *where* a result ran rather than *what* it
 #: computed.  They are stripped before a summary enters the cache and
@@ -111,6 +125,14 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        #: Per-instance lifetime counters (telemetry — the daemon prints
+        #: them in its end-of-drain summary and ships them in heartbeats).
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "publishes": 0,
+        }
 
     def entry_dir(self, key: str) -> Path:
         """Directory of one cache entry (two-level fan-out by key prefix)."""
@@ -167,6 +189,8 @@ class ResultCache:
                 "n_decoys": int(summary.get("n_decoys", 0)),
             },
         )
+        self.stats["publishes"] += 1
+        _PUBLISHES.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -198,6 +222,10 @@ class ResultCache:
                 (entry / name).unlink()
             except OSError:
                 pass
+        # Counted here (not in _remove_entry, which delegates to this
+        # method) so poisoned-entry and prune evictions tally exactly once.
+        self.stats["evictions"] += 1
+        _EVICTIONS.inc()
 
     # ------------------------------------------------------------------
     # Pruning
@@ -311,11 +339,17 @@ class ResultCache:
             return store.load_shard_summary(cell.run_id, cell.index)
         key = key if key is not None else cell_cache_key(cell)
         if not self.has(key):
+            self.stats["misses"] += 1
+            _REQUESTS.inc(outcome="miss")
             return None
         payload = self._load_verified(key)
         if payload is None:
             self._evict(key)
+            self.stats["misses"] += 1
+            _REQUESTS.inc(outcome="miss")
             return None
+        self.stats["hits"] += 1
+        _REQUESTS.inc(outcome="hit")
         summary = dict(payload["summary"])
         summary["run_id"] = cell.run_id
         summary["shard"] = cell.index

@@ -10,6 +10,8 @@ behind a load balancer) at any instant without losing anything.
 Routes (all JSON unless noted)::
 
     GET  /v1/healthz                          liveness + store path
+    GET  /v1/metrics                          Prometheus text (not JSON)
+    GET  /v1/fleet                            aggregated daemon heartbeats
     GET  /v1/campaigns                        ids in the store
     POST /v1/campaigns                        submit (campaign-file schema)
     GET  /v1/campaigns/<id>/status            per-cell live state
@@ -39,12 +41,21 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from repro.obs.fleet import fleet_snapshot
+from repro.obs.metrics import REGISTRY
 from repro.runtime.store import RunStore, RunStoreError
 
 __all__ = ["build_server", "serve_forever"]
 
 #: Largest accepted POST body; campaign documents are a few KB.
 MAX_BODY_BYTES = 1 << 20
+
+#: Prometheus text exposition content type (format version 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total", "repro-serve requests, by method."
+)
 
 
 def _json_bytes(payload: Dict[str, Any]) -> bytes:
@@ -125,11 +136,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         route = self._route()
+        _HTTP_REQUESTS.inc(method="GET")
         try:
             if route == ("v1", "healthz"):
                 self._send_json(
                     200, {"ok": True, "store": str(self.session.store.root)}
                 )
+            elif route == ("v1", "metrics"):
+                self._send(
+                    200, REGISTRY.render().encode("utf8"), METRICS_CONTENT_TYPE
+                )
+            elif route == ("v1", "fleet"):
+                self._send_json(200, fleet_snapshot(self.session.store))
             elif route == ("v1", "campaigns"):
                 self._send_json(200, {"campaigns": self.session.campaigns()})
             elif len(route) == 4 and route[:2] == ("v1", "campaigns"):
@@ -150,6 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         route = self._route()
+        _HTTP_REQUESTS.inc(method="POST")
         try:
             if route == ("v1", "campaigns"):
                 self._post_campaign()

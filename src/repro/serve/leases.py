@@ -38,18 +38,31 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import socket
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.io import create_json_exclusive, write_json_atomic
+from repro.obs.fleet import default_daemon_id
+from repro.obs.metrics import REGISTRY
 from repro.runtime.store import RunStore
 
 __all__ = ["DEFAULT_TTL_SECONDS", "Lease", "LeaseManager", "default_daemon_id"]
 
 #: Lease document layout version.
 LEASE_FORMAT_VERSION: int = 1
+
+# Lease telemetry (see repro.obs.metrics): claim races, stale takeovers
+# and releases, rendered at GET /v1/metrics on repro-serve.
+_CLAIMS = REGISTRY.counter(
+    "repro_lease_claims_total", "Lease claim attempts, by outcome (won/lost)."
+)
+_TAKEOVERS = REGISTRY.counter(
+    "repro_lease_takeovers_total", "Stale leases taken over from dead daemons."
+)
+_RELEASES = REGISTRY.counter(
+    "repro_lease_releases_total", "Held leases released."
+)
 
 #: Default seconds a lease stays valid without a heartbeat renewal.  Must
 #: comfortably exceed the renewal cadence (the drain loop renews at TTL/3)
@@ -58,15 +71,12 @@ LEASE_FORMAT_VERSION: int = 1
 DEFAULT_TTL_SECONDS: float = 30.0
 
 
-def default_daemon_id() -> str:
-    """A daemon identity derived from host and pid.
-
-    Uniqueness is best-effort — lease safety comes from the exclusive
-    create, not from the identity; a pid-reuse collision at worst makes a
-    daemon renew a namesake's lease, which (execution being idempotent
-    and writes atomic) costs duplicate compute, never correctness.
-    """
-    return f"{socket.gethostname()}.{os.getpid()}"
+# default_daemon_id is re-exported from repro.obs.fleet so leases and
+# heartbeats name the same daemon.  Uniqueness is best-effort — lease
+# safety comes from the exclusive create, not from the identity; a
+# pid-reuse collision at worst makes a daemon renew a namesake's lease,
+# which (execution being idempotent and writes atomic) costs duplicate
+# compute, never correctness.
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,6 +205,7 @@ class LeaseManager:
         for _attempt in (0, 1):
             if create_json_exclusive(path, self._payload()):
                 self._held[key] = path
+                _CLAIMS.inc(outcome="won")
                 return True
             doc = self._read_document(path)
             if doc is None:
@@ -204,9 +215,12 @@ class LeaseManager:
             heartbeat = float(doc["heartbeat"])
             ttl = float(doc.get("ttl", self.ttl_seconds))
             if (now - heartbeat) < ttl:
+                _CLAIMS.inc(outcome="lost")
                 return False
             if not self._remove_stale(path):
+                _CLAIMS.inc(outcome="lost")
                 return False
+        _CLAIMS.inc(outcome="lost")
         return False
 
     def _remove_stale(self, path: Path) -> bool:
@@ -222,6 +236,7 @@ class LeaseManager:
             tombstone.unlink()
         except OSError:  # pragma: no cover - cleanup is best-effort
             pass
+        _TAKEOVERS.inc()
         return True
 
     def renew(self, run_id: str, index: int) -> None:
@@ -251,6 +266,7 @@ class LeaseManager:
         path = self._held.pop(key, None)
         if path is None:
             return
+        _RELEASES.inc()
         doc = self._read_document(path)
         if doc is not None and doc.get("daemon") == self.daemon_id:
             try:

@@ -99,6 +99,32 @@ class TimingLedger:
         for name, rec in other.records.items():
             self.add(name, rec.total_seconds, rec.calls)
 
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe rendering, keys sorted: name -> {calls, total_seconds}.
+
+        Round-trips losslessly through :meth:`from_dict` — including call
+        counts, so ledgers serialised into the store re-aggregate (via
+        :meth:`merge`) with correct per-call means.
+        """
+        return {
+            name: {
+                "calls": self.records[name].calls,
+                "total_seconds": self.records[name].total_seconds,
+            }
+            for name in sorted(self.records)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, float]]) -> "TimingLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        ledger = cls()
+        for name in sorted(payload):
+            rec = payload[name]
+            ledger.add(
+                name, float(rec.get("total_seconds", 0.0)), int(rec.get("calls", 0))
+            )
+        return ledger
+
     def total(self) -> float:
         """Total seconds across every section."""
         return sum(rec.total_seconds for rec in self.records.values())

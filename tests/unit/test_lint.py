@@ -184,6 +184,44 @@ class TestWallClock:
         )
         assert _codes(findings) == ["REP004"]
 
+    def test_obs_module_payload_wallclock_flagged(self):
+        # Telemetry rides the status channel only: repro/obs/ is inside
+        # REP004's scope, so a wall-clock reading leaking into a journal
+        # payload from the obs package is a lint error, not a style nit.
+        findings = _lint(
+            "import time\n"
+            'store.append_journal(run_id, {"hb": time.time()})\n',
+            filename="repro/obs/fleet.py",
+        )
+        assert _codes(findings) == ["REP004"]
+
+    def test_obs_heartbeat_shape_allowed(self):
+        # The sanctioned shape: build the wall-clock payload in a helper,
+        # hand the finished dict to the atomic writer.
+        findings = _lint(
+            "import time\n"
+            "def _payload():\n"
+            '    return {"heartbeat": time.time()}\n'
+            "def write(path):\n"
+            "    payload = _payload()\n"
+            "    write_json_atomic(path, payload)\n",
+            filename="repro/obs/fleet.py",
+        )
+        assert _codes(findings) == []
+
+    def test_telemetry_filenames_are_transient_not_durable(self):
+        # Policy pin: heartbeats and traces are status-channel documents.
+        from repro.lint.config import (
+            DURABLE_MARKERS,
+            DURABLE_SUMMARIES,
+            PROTOCOL_TRANSIENT,
+        )
+
+        for name in ("heartbeat.json", "trace.json"):
+            assert name in PROTOCOL_TRANSIENT
+            assert name not in DURABLE_MARKERS
+            assert name not in DURABLE_SUMMARIES
+
 
 # ---------------------------------------------------------------------------
 # REP005 — dense outer materialisation
